@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark): the primitive costs behind the
+// tables — GC-critical-section ticks, shared-variable events in each mode,
+// interval recording, log serialization, and raw simulated-network ops.
+
+#include <benchmark/benchmark.h>
+
+#include "core/session.h"
+#include "net/network.h"
+#include "record/serializer.h"
+#include "sched/global_counter.h"
+#include "sched/interval.h"
+#include "vm/shared_var.h"
+#include "vm/vm.h"
+
+namespace djvu {
+namespace {
+
+void BM_GlobalCounterTick(benchmark::State& state) {
+  sched::GlobalCounter c;
+  for (auto _ : state) benchmark::DoNotOptimize(c.tick());
+}
+BENCHMARK(BM_GlobalCounterTick);
+
+void BM_GcCriticalSection(benchmark::State& state) {
+  sched::GlobalCounter c;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    c.with_section([&](GlobalCount g) { acc += g; });
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_GcCriticalSection);
+
+void BM_IntervalRecorderEvent(benchmark::State& state) {
+  sched::IntervalRecorder r;
+  GlobalCount g = 0;
+  for (auto _ : state) {
+    r.on_event(g);
+    g += 1 + (g % 7 == 0);  // occasional gap
+  }
+  benchmark::DoNotOptimize(r.local_count());
+}
+BENCHMARK(BM_IntervalRecorderEvent);
+
+void BM_SharedVarAccess(benchmark::State& state) {
+  auto network = std::make_shared<net::Network>();
+  vm::VmConfig cfg;
+  cfg.vm_id = 1;
+  cfg.mode = state.range(0) == 0 ? vm::Mode::kPassthrough : vm::Mode::kRecord;
+  cfg.keep_trace = false;
+  vm::Vm v(network, cfg);
+  v.attach_main();
+  vm::SharedVar<std::uint64_t> x(v, 0);
+  for (auto _ : state) {
+    x.set(x.get() + 1);
+  }
+  v.detach_current();
+  state.SetLabel(state.range(0) == 0 ? "passthrough" : "record");
+}
+BENCHMARK(BM_SharedVarAccess)->Arg(0)->Arg(1);
+
+void BM_TcpRoundTrip(benchmark::State& state) {
+  net::Network net;
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  Bytes msg(64, 0x42);
+  std::uint8_t buf[64];
+  for (auto _ : state) {
+    client->write(msg);
+    std::size_t got = 0;
+    while (got < 64) got += server->read(buf, 64 - got);
+    server->write(msg);
+    got = 0;
+    while (got < 64) got += client->read(buf, 64 - got);
+  }
+}
+BENCHMARK(BM_TcpRoundTrip);
+
+void BM_UdpSendReceive(benchmark::State& state) {
+  net::Network net;
+  auto a = net.udp_bind({1, 100});
+  auto b = net.udp_bind({2, 200});
+  Bytes msg(64, 0x42);
+  for (auto _ : state) {
+    a->send_to({2, 200}, msg);
+    benchmark::DoNotOptimize(b->receive());
+  }
+}
+BENCHMARK(BM_UdpSendReceive);
+
+record::VmLog make_log(std::size_t intervals) {
+  record::VmLog log;
+  log.vm_id = 1;
+  log.schedule.per_thread.resize(4);
+  GlobalCount g = 0;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    log.schedule.per_thread[i % 4].push_back({g, g + 20});
+    g += 25;
+  }
+  return log;
+}
+
+void BM_LogSerialize(benchmark::State& state) {
+  record::VmLog log = make_log(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(record::serialize(log));
+  }
+}
+BENCHMARK(BM_LogSerialize)->Arg(100)->Arg(10000);
+
+void BM_LogDeserialize(benchmark::State& state) {
+  Bytes data =
+      record::serialize(make_log(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(record::deserialize(data));
+  }
+}
+BENCHMARK(BM_LogDeserialize)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace djvu
+
+BENCHMARK_MAIN();

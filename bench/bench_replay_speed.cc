@@ -1,0 +1,50 @@
+// Ablation: native vs record vs replay wall time on the synthetic
+// benchmark, plus replay correctness across network seeds.
+//
+// The paper measures only record overhead; replay time matters for the
+// tool's debugging loop and motivates the checkpointing future work this
+// repo implements in src/checkpoint.
+
+#include <cstdio>
+
+#include "bench/workload.h"
+
+int main() {
+  using namespace djvu;
+  using namespace djvu::bench;
+
+  std::printf("Replay-speed ablation: native vs record vs replay\n\n");
+  std::printf("%9s %11s %11s %11s %14s %14s\n", "#threads", "native(s)",
+              "record(s)", "replay(s)", "rec ovhd(%)", "rep ovhd(%)");
+
+  for (int threads : {2, 4, 8, 16}) {
+    WorkloadParams p;
+    p.threads = threads;
+    p.sessions = 2;
+    p.connects_per_session = 2;
+    p.fixed_iters = 40000;
+    p.per_thread_iters = 1000;
+
+    core::Session s = make_session(p, true, true);
+    double native = 1e100, recorded = 1e100, replayed = 1e100;
+    core::RunResult rec;
+    for (int i = 0; i < 2; ++i) {
+      native = std::min(native, s.run_native().wall_seconds);
+      auto r = s.record(100 + i);
+      if (r.wall_seconds < recorded) {
+        recorded = r.wall_seconds;
+        rec = std::move(r);
+      }
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto r = s.replay(rec, 900 + i);
+      core::verify(rec, r);
+      replayed = std::min(replayed, r.wall_seconds);
+    }
+    std::printf("%9d %11.4f %11.4f %11.4f %13.1f%% %13.1f%%\n", threads,
+                native, recorded, replayed,
+                100.0 * (recorded - native) / native,
+                100.0 * (replayed - native) / native);
+  }
+  return 0;
+}

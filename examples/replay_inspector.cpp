@@ -1,0 +1,86 @@
+// Replay inspector: a log-forensics tool built on the public API.
+//
+//   ./examples/replay_inspector            # demo: record, save, inspect
+//   ./examples/replay_inspector FILE.djvulog   # inspect an existing bundle
+//
+// Dumps a recorded log bundle in human-readable form: the per-thread
+// logical schedule intervals (§2.2), every network log entry (§4.1.3), and
+// summary statistics — what a developer reads when deciding where a replay
+// diverged or which connection carried the bad bytes.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/session.h"
+#include "record/serializer.h"
+#include "record/text_export.h"
+#include "tests/test_util.h"
+#include "vm/socket_api.h"
+#include "vm/thread.h"
+
+namespace {
+
+using namespace djvu;
+
+/// A small two-VM app so the demo bundle has interesting contents.
+core::Session demo_session() {
+  core::Session s;
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 4400);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back(v, [&v, &listener] {
+        auto sock = listener.accept();
+        Bytes msg = testutil::read_exactly(*sock, 5);
+        sock->output_stream().write(msg);
+        sock->close();
+      });
+    }
+    for (auto& t : threads) t.join();
+    listener.close();
+  });
+  for (int c = 0; c < 2; ++c) {
+    s.add_vm("client" + std::to_string(c), 2 + c, true, [c](vm::Vm& v) {
+      auto sock = testutil::connect_retry(v, {1, 4400});
+      sock->output_stream().write(to_bytes("msg#" + std::to_string(c)));
+      testutil::read_exactly(*sock, 5);
+      sock->close();
+    });
+  }
+  return s;
+}
+
+void inspect(const record::VmLog& log) {
+  std::printf("%s", record::to_text(log).c_str());
+  std::printf("serialized size: %zu bytes (payload %zu)\n\n",
+              record::serialize(log).size(), record::log_payload_size(log));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    inspect(record::load_from_file(argv[1]));
+    return 0;
+  }
+
+  const char* t = std::getenv("TMPDIR");
+  std::string dir = t ? t : "/tmp";
+  std::printf("no file given — recording a demo execution first\n\n");
+  auto s = demo_session();
+  auto rec = s.record(3);
+  core::Session::save_logs(rec, dir);
+  for (const char* name : {"server", "client0", "client1"}) {
+    std::string path = dir + "/" + name + ".djvulog";
+    std::printf("===== %s =====\n", path.c_str());
+    inspect(record::load_from_file(path));
+    std::remove(path.c_str());
+  }
+
+  // Sanity: the saved bundles replay.
+  auto s2 = demo_session();
+  auto rep = s2.replay(rec, 99);
+  core::verify(rec, rep);
+  std::printf("(bundles verified: replay reproduces the recorded traces)\n");
+  return 0;
+}

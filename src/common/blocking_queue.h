@@ -1,0 +1,93 @@
+// Unbounded multi-producer multi-consumer blocking queue with close
+// semantics, used by the simulated network substrate (listener backlogs,
+// datagram receive queues) and by the reliable-UDP retransmission daemon.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace djvu {
+
+/// MPMC FIFO.  pop() blocks until an element is available or the queue is
+/// closed; push() after close() is ignored.  All methods are thread-safe.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues an element and wakes one waiter.  No-op after close().
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an element is available (returns it) or the queue is
+  /// closed and drained (returns nullopt).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Blocks until an element is available, the queue is closed, or the
+  /// predicate-free timeout expires; nullopt on timeout/close-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Closes the queue: pending and future pops drain remaining elements then
+  /// return nullopt; future pushes are dropped.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// True once close() has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Number of queued elements right now.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace djvu

@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace djvu {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(BytesView data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(BytesView data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace djvu

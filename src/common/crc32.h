@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to integrity-check every
+// section of the on-disk log bundle (invariant I7) and to hash payloads into
+// the execution trace.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace djvu {
+
+/// Incremental CRC-32 computation.
+class Crc32 {
+ public:
+  /// Feeds more bytes into the checksum.
+  void update(BytesView data);
+
+  /// Final checksum value for everything fed so far.
+  std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(BytesView data);
+
+}  // namespace djvu

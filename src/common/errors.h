@@ -1,0 +1,68 @@
+// Exception hierarchy for the DejaVu system.
+//
+// Two families:
+//   * djvu::Error and subclasses — programming / environment errors raised by
+//     the framework itself (bad log files, divergence, misuse).
+//   * djvu::net error codes — the simulated "OS level" socket errors, which
+//     surface to applications through the Java-like exceptions in
+//     src/vm/exceptions.h (so they can be recorded and re-thrown in replay,
+//     paper §4.1.3 "an exception thrown by a network event in the record
+//     phase is logged and re-thrown in the replay phase").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace djvu {
+
+/// Base class of all framework-raised errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A log file (schedule log, network log, datagram log) failed to parse:
+/// bad magic, unsupported version, truncated section, or CRC mismatch.
+class LogFormatError : public Error {
+ public:
+  explicit LogFormatError(const std::string& what) : Error(what) {}
+};
+
+/// Replay observed behaviour incompatible with the recorded execution, e.g.
+/// a thread executed more critical events than were recorded, a stream
+/// delivered EOF before the recorded byte count, or a datagram id arrived
+/// that cannot be reconciled with the RecordedDatagramLog.
+class ReplayDivergenceError : public Error {
+ public:
+  explicit ReplayDivergenceError(const std::string& what) : Error(what) {}
+};
+
+/// API misuse by the embedding application (e.g. calling a Vm API from a
+/// thread not registered with that Vm).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Error codes produced by the simulated network substrate.  These model the
+/// OS-level errno values a JVM's native socket code would see; the vm layer
+/// maps them onto Java-like exceptions and the record layer persists them by
+/// code so replay can re-throw the same exception.
+enum class NetErrorCode : std::uint8_t {
+  kNone = 0,
+  kConnectionRefused = 1,   // no listener at destination
+  kConnectionReset = 2,     // peer closed abruptly
+  kAddressInUse = 3,        // bind to an occupied port
+  kHostUnreachable = 4,     // destination host not registered
+  kSocketClosed = 5,        // operation on a closed socket
+  kMessageTooLarge = 6,     // datagram exceeds the network maximum
+  kTimedOut = 7,            // blocking op exceeded its deadline
+  kNetworkShutdown = 8,     // the simulated network was torn down
+};
+
+/// Short stable name for a NetErrorCode ("refused", "reset", ...), used in
+/// diagnostics and the text log exporter.
+const char* net_error_name(NetErrorCode code);
+
+}  // namespace djvu

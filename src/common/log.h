@@ -1,0 +1,63 @@
+// Minimal thread-safe leveled diagnostic logging for the framework itself.
+//
+// This is *diagnostic* logging (human-facing, off by default), entirely
+// distinct from the record/replay logs in src/record.  Controlled globally:
+//
+//   djvu::set_log_level(djvu::LogLevel::kDebug);
+//   DJVU_LOG(kInfo) << "replaying accept " << id;
+//
+// Statements below the active level cost one branch.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace djvu {
+
+/// Severity levels, most verbose first.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global diagnostic log threshold.
+void set_log_level(LogLevel level);
+
+/// Current global diagnostic log threshold.
+LogLevel log_level();
+
+namespace detail {
+
+/// Accumulates one log statement and emits it (atomically, with a
+/// level/thread prefix) on destruction.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, const char* file, int line);
+  ~LogStatement();
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace djvu
+
+/// Emits a diagnostic log statement at the given level (e.g. kDebug).
+#define DJVU_LOG(level)                                      \
+  if (::djvu::LogLevel::level < ::djvu::log_level()) {       \
+  } else                                                     \
+    ::djvu::detail::LogStatement(::djvu::LogLevel::level, __FILE__, __LINE__)

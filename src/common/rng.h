@@ -1,0 +1,78 @@
+// Small deterministic pseudo-random generators.
+//
+// All nondeterminism *injected* by the simulated network (delays, packet
+// loss, duplication, reordering, stream segmentation) is driven by these
+// seeded generators so tests can sweep seeds and benches are reproducible.
+// Genuine nondeterminism in the system under test comes from real thread
+// scheduling, exactly as in the paper's uniprocessor experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace djvu {
+
+/// SplitMix64 — used to expand a single user seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator for fault models.
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words from one 64-bit seed via SplitMix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Modulo bias is irrelevant for fault injection purposes.
+    return next() % bound;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  constexpr bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace djvu

@@ -1,0 +1,108 @@
+#include "common/strutil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/errors.h"
+#include "common/ids.h"
+
+namespace djvu {
+
+std::string hex_dump(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char tmp[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof tmp, "%02x", data[i]);
+    out += tmp;
+    if (i + 1 < n) out += ' ';
+  }
+  if (data.size() > max_bytes) out += " ..";
+  out += " |";
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = static_cast<char>(data[i]);
+    out += (c >= 32 && c < 127) ? c : '.';
+  }
+  out += '|';
+  return out;
+}
+
+std::string human_bytes(std::uint64_t n) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(n);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+// --- id formatting (declared in ids.h) ---
+
+std::string to_string(const NetworkEventId& id) {
+  return str_format("<t%u,e%llu>", id.thread_num,
+                    static_cast<unsigned long long>(id.event_num));
+}
+
+std::string to_string(const ConnectionId& id) {
+  return str_format("<vm%u,t%u,e%llu>", id.djvm_id, id.thread_num,
+                    static_cast<unsigned long long>(id.event_num));
+}
+
+std::string to_string(const DgNetworkEventId& id) {
+  return str_format("<vm%u,gc%llu>", id.djvm_id,
+                    static_cast<unsigned long long>(id.sender_gc));
+}
+
+// --- error names (declared in errors.h) ---
+
+const char* net_error_name(NetErrorCode code) {
+  switch (code) {
+    case NetErrorCode::kNone: return "ok";
+    case NetErrorCode::kConnectionRefused: return "refused";
+    case NetErrorCode::kConnectionReset: return "reset";
+    case NetErrorCode::kAddressInUse: return "addr-in-use";
+    case NetErrorCode::kHostUnreachable: return "unreachable";
+    case NetErrorCode::kSocketClosed: return "closed";
+    case NetErrorCode::kMessageTooLarge: return "msg-too-large";
+    case NetErrorCode::kTimedOut: return "timeout";
+    case NetErrorCode::kNetworkShutdown: return "net-shutdown";
+  }
+  return "?";
+}
+
+}  // namespace djvu

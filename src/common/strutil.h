@@ -1,0 +1,26 @@
+// String formatting helpers shared by diagnostics, the text log exporter and
+// the benchmark table printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace djvu {
+
+/// Hex dump of up to `max_bytes` bytes: "3f 62 0a .. |?b.|".
+std::string hex_dump(BytesView data, std::size_t max_bytes = 32);
+
+/// "1.5 KiB" style human-readable byte counts (used by bench tables).
+std::string human_bytes(std::uint64_t n);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace djvu

@@ -1,0 +1,250 @@
+#include "core/session.h"
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/log.h"
+#include "record/serializer.h"
+#include "record/trace_io.h"
+#include "vm/thread.h"
+
+namespace djvu::core {
+
+const VmRunInfo& RunResult::vm(const std::string& name) const {
+  for (const auto& info : vms) {
+    if (info.name == name) return info;
+  }
+  throw UsageError("no VM named '" + name + "' in this run");
+}
+
+Session::Session(SessionConfig config) : config_(std::move(config)) {}
+
+void Session::add_vm(std::string name, net::HostId host, bool djvm,
+                     std::function<void(vm::Vm&)> main) {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) {
+      throw UsageError("duplicate VM name '" + name + "'");
+    }
+  }
+  DjvmId next_id = 1;
+  for (const auto& spec : specs_) {
+    if (spec.djvm) ++next_id;
+  }
+  specs_.push_back(VmSpec{std::move(name), host, djvm, std::move(main),
+                          djvm ? next_id : 0});
+}
+
+RunResult Session::run_native() {
+  return run(vm::Mode::kPassthrough, nullptr, {});
+}
+
+RunResult Session::record(std::optional<std::uint64_t> seed_override) {
+  return run(vm::Mode::kRecord, nullptr, seed_override);
+}
+
+RunResult Session::replay(const RunResult& recorded,
+                          std::optional<std::uint64_t> seed_override) {
+  std::vector<record::VmLog> logs;
+  for (const auto& info : recorded.vms) {
+    if (info.log) {
+      // Round-trip through the serializer: replay consumes exactly what a
+      // log file would contain, never in-memory state the file lacks.
+      logs.push_back(record::deserialize(record::serialize(*info.log)));
+    }
+  }
+  return replay_logs(logs, seed_override);
+}
+
+RunResult Session::replay_logs(const std::vector<record::VmLog>& logs,
+                               std::optional<std::uint64_t> seed_override) {
+  return run(vm::Mode::kReplay, &logs, seed_override);
+}
+
+std::optional<RunResult> Session::record_until(
+    const std::function<bool(const RunResult&)>& caught, int max_attempts,
+    std::uint64_t seed_base) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    RunResult rec =
+        record(seed_base + static_cast<std::uint64_t>(attempt) * 7919);
+    if (caught(rec)) return rec;
+  }
+  return std::nullopt;
+}
+
+RunResult Session::run(vm::Mode djvm_mode,
+                       const std::vector<record::VmLog>* logs,
+                       std::optional<std::uint64_t> seed_override) {
+  if (specs_.empty()) throw UsageError("Session has no VMs");
+
+  net::NetworkConfig net_config = config_.net;
+  if (seed_override) net_config.seed = *seed_override;
+  auto network = std::make_shared<net::Network>(net_config);
+
+  // World knowledge: the hosts that run DJVMs.
+  std::set<net::HostId> djvm_hosts;
+  for (const auto& spec : specs_) {
+    if (spec.djvm) djvm_hosts.insert(spec.host);
+  }
+
+  struct Running {
+    const VmSpec* spec;
+    std::unique_ptr<vm::Vm> machine;
+    std::thread thread;
+    std::exception_ptr error;
+    double wall_seconds = 0;
+  };
+  std::vector<Running> running;
+
+  for (const auto& spec : specs_) {
+    const bool instrumented =
+        spec.djvm && djvm_mode != vm::Mode::kPassthrough;
+    if (djvm_mode == vm::Mode::kReplay && !spec.djvm) {
+      // "any message sent to a non-DJVM thread during the record phase need
+      // not be sent again" — plain components do not run during replay.
+      continue;
+    }
+    vm::VmConfig cfg;
+    cfg.vm_id = spec.vm_id;
+    cfg.host = spec.host;
+    cfg.mode = instrumented ? djvm_mode : vm::Mode::kPassthrough;
+    cfg.djvm_hosts = djvm_hosts;
+    cfg.keep_trace = config_.keep_trace;
+    cfg.stall_timeout = config_.stall_timeout;
+    cfg.chaos_prob = config_.chaos_prob;
+    cfg.chaos_seed = net_config.seed * 1000003 + spec.vm_id;
+
+    std::shared_ptr<const record::VmLog> replay_log;
+    if (cfg.mode == vm::Mode::kReplay) {
+      for (const auto& log : *logs) {
+        if (log.vm_id == spec.vm_id) {
+          replay_log = std::make_shared<const record::VmLog>(
+              record::deserialize(record::serialize(log)));
+          break;
+        }
+      }
+      if (!replay_log) {
+        throw UsageError("no recorded log for DJVM '" + spec.name + "' (id " +
+                         std::to_string(spec.vm_id) + ")");
+      }
+    }
+    running.push_back(Running{
+        &spec,
+        std::make_unique<vm::Vm>(network, std::move(cfg), std::move(replay_log)),
+        {}, nullptr});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& r : running) {
+    r.thread = std::thread([&r, network] {
+      const auto vm_start = std::chrono::steady_clock::now();
+      try {
+        r.machine->attach_main();
+        r.spec->main(*r.machine);
+        r.machine->detach_current();
+        r.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - vm_start)
+                             .count();
+      } catch (...) {
+        r.error = std::current_exception();
+        // Unblock peers stuck in network calls so the whole run terminates
+        // and the real error surfaces.
+        network->shutdown();
+      }
+    });
+  }
+  for (auto& r : running) r.thread.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  for (auto& r : running) {
+    if (r.error) std::rethrow_exception(r.error);
+  }
+
+  RunResult result;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (auto& r : running) {
+    VmRunInfo info;
+    info.name = r.spec->name;
+    info.vm_id = r.spec->vm_id;
+    info.djvm = r.spec->djvm && djvm_mode != vm::Mode::kPassthrough;
+    info.critical_events = r.machine->critical_events();
+    info.network_events = r.machine->network_events();
+    info.wall_seconds = r.wall_seconds;
+    if (config_.keep_trace) {
+      info.trace = r.machine->trace().sorted();
+      info.trace_digest = r.machine->trace().digest();
+    }
+    if (r.machine->mode() == vm::Mode::kRecord) {
+      info.log = r.machine->finish_record();
+    } else if (r.machine->mode() == vm::Mode::kReplay) {
+      r.machine->finish_replay();
+    }
+    result.vms.push_back(std::move(info));
+  }
+  network->shutdown();
+  return result;
+}
+
+void Session::save_logs(const RunResult& recorded, const std::string& dir) {
+  for (const auto& info : recorded.vms) {
+    if (!info.log) continue;
+    record::save_to_file(*info.log, dir + "/" + info.name + ".djvulog");
+  }
+}
+
+void Session::save_traces(const RunResult& run, const std::string& dir) {
+  for (const auto& info : run.vms) {
+    if (!info.djvm) continue;
+    record::TraceFile trace;
+    trace.vm_id = info.vm_id;
+    trace.records = info.trace;
+    record::save_trace_to_file(trace, dir + "/" + info.name + ".djvutrace");
+  }
+}
+
+std::vector<record::VmLog> Session::load_logs(const std::string& dir) const {
+  std::vector<record::VmLog> logs;
+  for (const auto& spec : specs_) {
+    if (!spec.djvm) continue;
+    logs.push_back(record::load_from_file(dir + "/" + spec.name + ".djvulog"));
+  }
+  return logs;
+}
+
+void verify(const RunResult& recorded, const RunResult& replayed) {
+  for (const auto& rec : recorded.vms) {
+    if (!rec.djvm) continue;
+    const VmRunInfo* rep = nullptr;
+    for (const auto& r : replayed.vms) {
+      if (r.name == rec.name) rep = &r;
+    }
+    if (rep == nullptr) {
+      throw ReplayDivergenceError("VM '" + rec.name +
+                                  "' missing from the replay run");
+    }
+    if (rec.trace_digest == rep->trace_digest &&
+        rec.trace.size() == rep->trace.size()) {
+      continue;
+    }
+    // Locate the first difference for a useful diagnostic.
+    std::size_t n = std::min(rec.trace.size(), rep->trace.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rec.trace[i] == rep->trace[i]) continue;
+      const auto& a = rec.trace[i];
+      const auto& b = rep->trace[i];
+      throw ReplayDivergenceError(
+          "VM '" + rec.name + "' diverged at trace position " +
+          std::to_string(i) + ": recorded {gc=" + std::to_string(a.gc) +
+          " t" + std::to_string(a.thread) + " " +
+          sched::event_kind_name(a.kind) + "} vs replayed {gc=" +
+          std::to_string(b.gc) + " t" + std::to_string(b.thread) + " " +
+          sched::event_kind_name(b.kind) + "}");
+    }
+    throw ReplayDivergenceError(
+        "VM '" + rec.name + "' trace length differs: recorded " +
+        std::to_string(rec.trace.size()) + " vs replayed " +
+        std::to_string(rep->trace.size()));
+  }
+}
+
+}  // namespace djvu::core

@@ -1,0 +1,149 @@
+// The DejaVu session facade: one distributed application, runnable in
+// native / record / replay modes, with log persistence and replay
+// verification.
+//
+// A session describes the world (§1's closed / open / mixed cases fall out
+// of which VMs are declared DJVMs): every VM is placed on a simulated host
+// and flagged instrumented or plain.  The set of DJVM hosts is computed from
+// the declarations and handed to every DJVM — the paper's "environment known
+// before the application executes" (§5).
+//
+//   dejavu::Session s(cfg);
+//   s.add_vm("server", /*host=*/1, /*djvm=*/true, server_main);
+//   s.add_vm("client", /*host=*/2, /*djvm=*/true, client_main);
+//   auto rec = s.record();
+//   auto rep = s.replay(rec);        // re-executes only the DJVMs
+//   dejavu::verify(rec, rep);        // throws on the first divergence
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fault_model.h"
+#include "record/vm_log.h"
+#include "sched/trace.h"
+#include "vm/vm.h"
+
+namespace djvu::core {
+
+/// Per-session configuration.
+struct SessionConfig {
+  /// Simulated network behaviour (delays, loss, segmentation, seed).
+  net::NetworkConfig net{};
+
+  /// Keep execution traces for verification (disable for overhead
+  /// benchmarks).
+  bool keep_trace = true;
+
+  /// Replay stall detector (see vm::VmConfig::stall_timeout).
+  std::chrono::milliseconds stall_timeout{10000};
+
+  /// Record-phase schedule fuzzing (see vm::VmConfig::chaos_prob); each VM
+  /// derives its own chaos stream from the network seed and its id.
+  double chaos_prob = 0.0;
+};
+
+/// Outcome of one VM in one run.
+struct VmRunInfo {
+  std::string name;
+  DjvmId vm_id = 0;
+  bool djvm = false;
+
+  /// gc-sorted critical-event trace (empty when tracing is off or the VM is
+  /// plain).
+  std::vector<sched::TraceRecord> trace;
+
+  /// Trace digest (0 when tracing is off).
+  std::uint64_t trace_digest = 0;
+
+  /// Complete log bundle (record runs of DJVMs only).
+  std::optional<record::VmLog> log;
+
+  GlobalCount critical_events = 0;
+  std::uint64_t network_events = 0;
+
+  /// Wall-clock seconds of this VM's main (its component's execution time;
+  /// the per-component "rec ovhd" rows divide record by native per VM).
+  double wall_seconds = 0;
+};
+
+/// Outcome of one whole-application run.
+struct RunResult {
+  std::vector<VmRunInfo> vms;
+
+  /// Wall-clock seconds for the whole run (drives "rec ovhd" rows).
+  double wall_seconds = 0;
+
+  /// Finds a VM's info by name; throws UsageError when absent.
+  const VmRunInfo& vm(const std::string& name) const;
+};
+
+/// One distributed application, runnable repeatedly.
+class Session {
+ public:
+  explicit Session(SessionConfig config = {});
+
+  /// Declares a VM: its name, host placement, whether it runs a DJVM, and
+  /// its main function.  Call before the first run.
+  void add_vm(std::string name, net::HostId host, bool djvm,
+              std::function<void(vm::Vm&)> main);
+
+  /// Runs everything uninstrumented (the baseline "unmodified JVM").
+  RunResult run_native();
+
+  /// Record phase: DJVMs record, plain VMs run raw.  `seed_override`
+  /// replaces the configured network seed (sweeps).
+  RunResult record(std::optional<std::uint64_t> seed_override = {});
+
+  /// Replay phase: re-executes only the DJVMs against the recorded logs.
+  /// The network seed may differ — replay must be immune to replay-time
+  /// network behaviour (invariants I2/I5).
+  RunResult replay(const RunResult& recorded,
+                   std::optional<std::uint64_t> seed_override = {});
+
+  /// Replay from explicitly supplied logs (e.g. loaded from disk).
+  RunResult replay_logs(const std::vector<record::VmLog>& logs,
+                        std::optional<std::uint64_t> seed_override = {});
+
+  /// The bug-hunting loop: records repeatedly (a fresh seed per attempt)
+  /// until `caught` returns true for a recording, then returns it — ready
+  /// to replay as many times as the investigation needs.  Returns nullopt
+  /// when max_attempts executions never manifest the condition.
+  std::optional<RunResult> record_until(
+      const std::function<bool(const RunResult&)>& caught,
+      int max_attempts = 100, std::uint64_t seed_base = 1);
+
+  /// Saves every DJVM's log bundle under `dir` as <name>.djvulog.
+  static void save_logs(const RunResult& recorded, const std::string& dir);
+
+  /// Loads log bundles previously saved with save_logs.
+  std::vector<record::VmLog> load_logs(const std::string& dir) const;
+
+  /// Saves every DJVM's execution trace under `dir` as <name>.djvutrace
+  /// (offline diffing; see record/trace_io.h).  Requires keep_trace.
+  static void save_traces(const RunResult& run, const std::string& dir);
+
+ private:
+  struct VmSpec {
+    std::string name;
+    net::HostId host;
+    bool djvm;
+    std::function<void(vm::Vm&)> main;
+    DjvmId vm_id;  // assigned in declaration order (DJVMs only)
+  };
+
+  RunResult run(vm::Mode djvm_mode, const std::vector<record::VmLog>* logs,
+                std::optional<std::uint64_t> seed_override);
+
+  SessionConfig config_;
+  std::vector<VmSpec> specs_;
+};
+
+/// Compares record and replay results; throws ReplayDivergenceError with
+/// the first differing event when the executions are not identical.
+void verify(const RunResult& recorded, const RunResult& replayed);
+
+}  // namespace djvu::core

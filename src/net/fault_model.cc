@@ -1,0 +1,40 @@
+#include "net/fault_model.h"
+
+namespace djvu::net {
+
+Duration FaultSource::draw(const DelayConfig& d) {
+  if (d.is_zero()) return Duration{0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto span = static_cast<std::uint64_t>((d.max_delay - d.min_delay).count());
+  if (span == 0) return d.min_delay;
+  return d.min_delay + Duration{static_cast<long>(rng_.next_below(span + 1))};
+}
+
+Duration FaultSource::draw_connect_delay() {
+  return draw(config_.connect_delay);
+}
+
+Duration FaultSource::draw_stream_delay() {
+  return draw(config_.stream_delay);
+}
+
+bool FaultSource::draw_short_read() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.chance(config_.segmentation.short_read_prob);
+}
+
+bool FaultSource::draw_udp_loss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.chance(config_.udp.loss_prob);
+}
+
+bool FaultSource::draw_udp_dup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.chance(config_.udp.dup_prob);
+}
+
+Duration FaultSource::draw_udp_delay() {
+  return draw(config_.udp.delay);
+}
+
+}  // namespace djvu::net

@@ -1,0 +1,115 @@
+// Fault / nondeterminism models for the simulated network.
+//
+// The paper's distributed nondeterminism comes from "variable network
+// delays" (stream connection racing, partial reads) and from UDP's
+// loss / duplication / reordering.  These models make that nondeterminism
+// explicit, *seeded* and sweepable: record/replay correctness tests run the
+// same application under many seeds and assert that replay reproduces the
+// recorded behaviour regardless of the replay-time seed (invariants I2, I5).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace djvu::net {
+
+using Duration = std::chrono::microseconds;
+
+/// Clock used for all simulated delivery timestamps.
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Variable-latency model: each draw yields a delay uniform in
+/// [min_delay, max_delay].  Used for TCP connect racing, TCP segment
+/// delivery and UDP datagram delivery.
+struct DelayConfig {
+  Duration min_delay{0};
+  Duration max_delay{0};
+
+  /// True when every draw is zero (fast path for tests that want a quiet
+  /// network).
+  bool is_zero() const { return max_delay.count() == 0; }
+};
+
+/// Stream segmentation model: writes are chopped into segments of at most
+/// `mss` bytes, and a read that could span a segment boundary stops at the
+/// boundary with probability `short_read_prob`.  This reproduces the paper's
+/// "variable message sizes" issue: read() may return fewer bytes than asked.
+struct SegmentationConfig {
+  std::uint32_t mss = 1460;
+  double short_read_prob = 0.5;
+};
+
+/// Packet-level fault model for UDP/multicast: independent Bernoulli loss
+/// and duplication, with reordering arising from per-datagram delay jitter.
+struct PacketFaultConfig {
+  double loss_prob = 0.0;
+  double dup_prob = 0.0;
+  DelayConfig delay{};
+};
+
+/// Whole-network configuration.
+struct NetworkConfig {
+  /// Seed for all injected nondeterminism.  Two networks with equal seeds
+  /// and equal call sequences behave identically.
+  std::uint64_t seed = 1;
+
+  /// Delay applied to TCP connection establishment (drives Fig. 1 racing).
+  DelayConfig connect_delay{};
+
+  /// Delay applied to each TCP segment's delivery.
+  DelayConfig stream_delay{};
+
+  /// Stream segmentation (partial-read) behaviour.
+  SegmentationConfig segmentation{};
+
+  /// UDP/multicast fault behaviour.
+  PacketFaultConfig udp{};
+
+  /// Maximum UDP datagram size (payload bytes) the network will carry; the
+  /// paper cites the usual 32 KiB limit.  Tests shrink this to exercise the
+  /// DJVM's datagram splitting.
+  std::uint32_t max_datagram = 32 * 1024;
+};
+
+/// Thread-safe source of fault draws, shared by everything attached to one
+/// Network.  A single lock-protected RNG keeps draws cheap and reproducible
+/// for a fixed interleaving while letting real thread racing perturb which
+/// draw each connection gets — mirroring a real shared medium.
+class FaultSource {
+ public:
+  explicit FaultSource(const NetworkConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Delay before a connect request reaches the listener backlog.
+  Duration draw_connect_delay();
+
+  /// Delay before a stream segment becomes readable.
+  Duration draw_stream_delay();
+
+  /// True when a read should stop at the next segment boundary.
+  bool draw_short_read();
+
+  /// True when a datagram should be dropped.
+  bool draw_udp_loss();
+
+  /// True when a datagram should be duplicated.
+  bool draw_udp_dup();
+
+  /// Delay before a datagram becomes receivable.
+  Duration draw_udp_delay();
+
+  /// The active configuration (immutable after construction).
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  Duration draw(const DelayConfig& d);
+
+  const NetworkConfig config_;
+  std::mutex mutex_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace djvu::net

@@ -1,0 +1,26 @@
+// Exception type thrown by the simulated network substrate.
+//
+// Carries a NetErrorCode so the vm layer can persist the failure by code
+// during record and re-throw an identical failure during replay.
+#pragma once
+
+#include <string>
+
+#include "common/errors.h"
+
+namespace djvu::net {
+
+/// "OS-level" socket failure from the simulated network.
+class NetError : public Error {
+ public:
+  NetError(NetErrorCode code, const std::string& what)
+      : Error(std::string(net_error_name(code)) + ": " + what), code_(code) {}
+
+  /// Stable error code (persisted in record logs).
+  NetErrorCode code() const { return code_; }
+
+ private:
+  NetErrorCode code_;
+};
+
+}  // namespace djvu::net

@@ -1,0 +1,215 @@
+// Simulated TCP: reliable, ordered byte streams with variable segment
+// delivery delay and partial reads.
+//
+// Semantics intentionally mirror the subset of kernel socket behaviour the
+// paper's stream-socket replay depends on:
+//   * connect() races against other connects through a variable delay before
+//     reaching the listener backlog (Fig. 1 nondeterminism);
+//   * accept() pops established connections from the backlog in arrival
+//     order;
+//   * read() blocks for at least one byte and may return fewer bytes than
+//     requested ("variable message sizes");
+//   * available() reports bytes readable without blocking;
+//   * close() produces EOF for the peer's reads after draining, and
+//     connection-reset for the peer's subsequent writes;
+//   * writes never block (unbounded send buffer) — matching the paper's
+//     treatment of write as a non-blocking critical event.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/blocking_queue.h"
+#include "common/bytes.h"
+#include "net/address.h"
+#include "net/fault_model.h"
+#include "net/net_error.h"
+
+namespace djvu::net {
+
+/// One direction of a TCP connection: a queue of delay-stamped segments.
+/// Internal to the net library (TcpConnection is the public face), exposed
+/// in the header for unit testing.
+class HalfPipe {
+ public:
+  explicit HalfPipe(std::shared_ptr<FaultSource> faults)
+      : faults_(std::move(faults)) {}
+
+  /// Enqueues data as segments of at most mss bytes, each becoming readable
+  /// after an independently drawn delivery delay (order preserved).  Throws
+  /// kConnectionReset if the reading end has been closed.
+  void write(BytesView data);
+
+  /// Blocks until at least one byte is readable or EOF; copies up to `max`
+  /// bytes into `out` and returns the count (0 means EOF).  Throws
+  /// kSocketClosed if the reading end itself was closed.
+  std::size_t read(std::uint8_t* out, std::size_t max);
+
+  /// Like read() but gives up after `timeout` with no byte available
+  /// (SO_TIMEOUT semantics): nullopt on timeout, otherwise the byte count.
+  std::optional<std::size_t> read_for(std::uint8_t* out, std::size_t max,
+                                      Duration timeout);
+
+  /// Bytes readable right now without blocking.
+  std::size_t available() const;
+
+  /// Blocks until at least `n` bytes are readable without blocking; returns
+  /// false if EOF/close makes that impossible.  Used by replay of
+  /// available(), which "can potentially block until it returns the
+  /// recorded number of bytes".
+  bool wait_available(std::size_t n);
+
+  /// Writer side done: readers drain remaining segments then see EOF.
+  void close_writer();
+
+  /// Reader side done: subsequent writes throw kConnectionReset, pending
+  /// and future reads throw kSocketClosed.
+  void close_reader();
+
+  /// Total bytes accepted by write() (conservation checks in tests).
+  std::uint64_t total_written() const;
+
+  /// Total bytes returned by read().
+  std::uint64_t total_read() const;
+
+ private:
+  struct Segment {
+    Bytes data;
+    TimePoint ready;
+  };
+
+  /// Readable byte count at `now` under lock.
+  std::size_t ready_bytes_locked(TimePoint now) const;
+
+  /// Copies up to `max` of the `ready` bytes out (lock held, ready > 0).
+  std::size_t consume_locked(std::uint8_t* out, std::size_t max,
+                             std::size_t ready);
+
+  std::shared_ptr<FaultSource> faults_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::deque<Segment> segments_;
+  std::size_t front_offset_ = 0;  // consumed bytes of segments_.front()
+  bool writer_closed_ = false;
+  bool reader_closed_ = false;
+  TimePoint last_ready_{};  // monotone per-stream delivery order
+  std::uint64_t total_written_ = 0;
+  std::uint64_t total_read_ = 0;
+};
+
+/// One endpoint of an established stream connection.
+class TcpConnection {
+ public:
+  /// Wires an endpoint over its inbound/outbound pipes (made by Network).
+  TcpConnection(std::shared_ptr<HalfPipe> in, std::shared_ptr<HalfPipe> out,
+                SocketAddress local, SocketAddress remote)
+      : in_(std::move(in)),
+        out_(std::move(out)),
+        local_(local),
+        remote_(remote) {}
+
+  ~TcpConnection() { close(); }
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Blocking read of up to `max` bytes; returns bytes read, 0 on EOF.
+  std::size_t read(std::uint8_t* out, std::size_t max);
+
+  /// read() with SO_TIMEOUT semantics; nullopt on timeout.
+  std::optional<std::size_t> read_for(std::uint8_t* out, std::size_t max,
+                                      Duration timeout) {
+    return in_->read_for(out, max, timeout);
+  }
+
+  /// Convenience: blocking read of up to `max` bytes into a fresh buffer
+  /// (empty buffer on EOF).
+  Bytes read_some(std::size_t max);
+
+  /// Reads exactly `n` bytes, looping over partial reads; throws
+  /// kConnectionReset if EOF arrives first.  Used for protocol prefixes.
+  void read_fully(std::uint8_t* out, std::size_t n);
+
+  /// Non-blocking write of the whole buffer.
+  void write(BytesView data);
+
+  /// Bytes readable without blocking.
+  std::size_t available() const;
+
+  /// Blocks until `n` bytes are readable; false when EOF/close intervenes.
+  bool wait_available(std::size_t n) { return in_->wait_available(n); }
+
+  /// Closes both directions (idempotent).
+  void close();
+
+  /// Half-close: signals EOF to the peer's reads but keeps receiving.
+  /// Replay-mode Socket::close uses this so re-executed peer writes that
+  /// succeeded during record cannot hit connection-reset (DESIGN.md §5).
+  void shutdown_write() { out_->close_writer(); }
+
+  /// True once close() has run.
+  bool closed() const;
+
+  /// Address of this endpoint.
+  SocketAddress local_address() const { return local_; }
+
+  /// Address of the peer endpoint.
+  SocketAddress remote_address() const { return remote_; }
+
+ private:
+  std::shared_ptr<HalfPipe> in_;
+  std::shared_ptr<HalfPipe> out_;
+  SocketAddress local_;
+  SocketAddress remote_;
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+};
+
+/// Server-side listening socket: a backlog of established connections.
+class TcpListener {
+ public:
+  /// `backlog` bounds established-but-unaccepted connections, like listen(2);
+  /// connects beyond it are refused.
+  explicit TcpListener(SocketAddress addr, int backlog = 128)
+      : addr_(addr), backlog_limit_(backlog) {}
+
+  /// Blocks for the next established connection (arrival order).  Throws
+  /// kSocketClosed once the listener is closed and the backlog drained.
+  std::shared_ptr<TcpConnection> accept();
+
+  /// accept() with a deadline; nullptr on timeout.
+  std::shared_ptr<TcpConnection> accept_for(Duration timeout);
+
+  /// Stops accepting; connects targeting this address start failing with
+  /// kConnectionRefused once the Network drops its registration.
+  void close() { backlog_.close(); }
+
+  /// True once closed.
+  bool closed() const { return backlog_.closed(); }
+
+  /// Listening address.
+  SocketAddress address() const { return addr_; }
+
+  /// Established-but-unaccepted connection count (diagnostics/tests).
+  std::size_t backlog_size() const { return backlog_.size(); }
+
+  /// Network-internal: delivers a newly established server-side endpoint.
+  /// Returns false (refusal) when the backlog is full.
+  bool enqueue(std::shared_ptr<TcpConnection> conn) {
+    if (backlog_.size() >= static_cast<std::size_t>(backlog_limit_)) {
+      return false;
+    }
+    backlog_.push(std::move(conn));
+    return true;
+  }
+
+ private:
+  SocketAddress addr_;
+  int backlog_limit_;
+  BlockingQueue<std::shared_ptr<TcpConnection>> backlog_;
+};
+
+}  // namespace djvu::net

@@ -1,0 +1,95 @@
+// Simulated UDP: unreliable datagram delivery with seeded loss, duplication
+// and reordering, plus multicast fan-out.
+//
+// Matches the paper's UDP model: "packets ... can arrive out of order,
+// duplicated, or some may not arrive at all", with a maximum datagram size
+// ("usually limited by 32K") that the DJVM's tagging scheme must respect by
+// splitting oversized datagrams.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "net/fault_model.h"
+#include "net/net_error.h"
+
+namespace djvu::net {
+
+class Network;
+
+/// One datagram as seen by a receiver.
+struct Datagram {
+  SocketAddress source;
+  Bytes payload;
+};
+
+/// A bound UDP port: a delay-ordered receive queue plus a send handle
+/// routed through the owning Network (where faults are applied).
+class UdpPort {
+ public:
+  /// Constructed by Network::udp_bind().
+  UdpPort(Network* network, SocketAddress addr)
+      : network_(network), addr_(addr) {}
+
+  ~UdpPort() { close(); }
+  UdpPort(const UdpPort&) = delete;
+  UdpPort& operator=(const UdpPort&) = delete;
+
+  /// Sends `payload` to `dest` (unicast address or multicast group
+  /// address).  Loss/duplication/delay are applied per destination.  Throws
+  /// kMessageTooLarge when payload exceeds the network maximum, and
+  /// kSocketClosed after close().
+  void send_to(SocketAddress dest, BytesView payload);
+
+  /// Blocks for the next deliverable datagram (delivery order = the order
+  /// in which delay-stamped datagrams mature, i.e. reordered relative to
+  /// send order).  Throws kSocketClosed once closed.
+  Datagram receive();
+
+  /// receive() with a deadline; nullopt on timeout.
+  std::optional<Datagram> receive_for(Duration timeout);
+
+  /// Datagrams deliverable right now without blocking.
+  std::size_t pending() const;
+
+  /// Unbinds the port (idempotent); blocked receivers are woken with
+  /// kSocketClosed.
+  void close();
+
+  /// True once closed.
+  bool closed() const;
+
+  /// Bound address.
+  SocketAddress address() const { return addr_; }
+
+  /// Network-internal: enqueues a datagram that matures at `deliver_at`.
+  void deliver(Datagram dg, TimePoint deliver_at);
+
+ private:
+  struct Pending {
+    TimePoint deliver_at;
+    std::uint64_t tie;  // insertion order tiebreak for equal timestamps
+    Datagram datagram;
+    bool operator<(const Pending& o) const {
+      return deliver_at != o.deliver_at ? deliver_at < o.deliver_at
+                                        : tie < o.tie;
+    }
+  };
+
+  Network* network_;
+  SocketAddress addr_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::multiset<Pending> queue_;
+  std::uint64_t tie_counter_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace djvu::net

@@ -1,0 +1,89 @@
+#include "record/log_stats.h"
+
+#include <limits>
+
+#include "common/strutil.h"
+#include "record/serializer.h"
+
+namespace djvu::record {
+namespace {
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+LogStats compute_stats(const VmLog& log) {
+  LogStats s;
+  s.threads = log.schedule.per_thread.size();
+  s.critical_events = log.stats.critical_events;
+  s.min_interval_len = std::numeric_limits<GlobalCount>::max();
+
+  GlobalCount encoded_events = 0;
+  for (const auto& list : log.schedule.per_thread) {
+    GlobalCount prev_end = 0;
+    for (const auto& lsi : list) {
+      ++s.intervals;
+      GlobalCount len = lsi.length();
+      encoded_events += len;
+      s.min_interval_len = std::min(s.min_interval_len, len);
+      s.max_interval_len = std::max(s.max_interval_len, len);
+      s.schedule_bytes +=
+          varint_size(lsi.first - prev_end) + varint_size(lsi.last - lsi.first);
+      prev_end = lsi.last;
+    }
+  }
+  if (s.intervals == 0) s.min_interval_len = 0;
+  s.mean_interval_len =
+      s.intervals ? static_cast<double>(encoded_events) /
+                        static_cast<double>(s.intervals)
+                  : 0;
+  s.events_per_interval =
+      s.intervals ? static_cast<double>(s.critical_events) /
+                        static_cast<double>(s.intervals)
+                  : 0;
+
+  s.network_entries = log.network.size();
+  s.content_bytes = log.network.content_bytes();
+  for (ThreadNum t : log.network.threads()) {
+    for (const auto& e : log.network.thread_entries(t)) {
+      ++s.entries_by_kind[sched::event_kind_name(e.kind)];
+      if (e.error != NetErrorCode::kNone) ++s.exception_entries;
+    }
+  }
+  s.serialized_bytes = serialize(log).size();
+  return s;
+}
+
+std::string to_text(const LogStats& s) {
+  std::string out;
+  out += str_format(
+      "schedule: %zu threads, %llu critical events in %zu intervals\n",
+      s.threads, static_cast<unsigned long long>(s.critical_events),
+      s.intervals);
+  out += str_format(
+      "  interval length min/mean/max = %llu / %.1f / %llu "
+      "(%.1f events encoded per interval)\n",
+      static_cast<unsigned long long>(s.min_interval_len),
+      s.mean_interval_len, static_cast<unsigned long long>(s.max_interval_len),
+      s.events_per_interval);
+  out += str_format("network log: %zu entries (%zu exceptions), %s of "
+                    "open-world content\n",
+                    s.network_entries, s.exception_entries,
+                    human_bytes(s.content_bytes).c_str());
+  for (const auto& [kind, count] : s.entries_by_kind) {
+    out += str_format("  %-16s %zu\n", kind.c_str(), count);
+  }
+  out += str_format("bytes: %s total serialized, %s schedule encoding\n",
+                    human_bytes(s.serialized_bytes).c_str(),
+                    human_bytes(s.schedule_bytes).c_str());
+  return out;
+}
+
+}  // namespace djvu::record

@@ -1,0 +1,50 @@
+// Descriptive statistics over a recorded log bundle.
+//
+// Quantifies the paper's efficiency narrative on real recordings: how many
+// critical events each schedule interval encodes ("we have found it typical
+// for a schedule interval to consist of thousands of critical events, all
+// of which can be efficiently encoded by two ... counter values"), how log
+// bytes split between schedule, network outcomes and open-world content,
+// and the per-kind event profile.  Used by the replay_inspector example and
+// asserted in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "record/vm_log.h"
+
+namespace djvu::record {
+
+/// Aggregate statistics of one VmLog.
+struct LogStats {
+  // Schedule shape.
+  std::size_t threads = 0;
+  std::size_t intervals = 0;
+  GlobalCount critical_events = 0;
+  GlobalCount min_interval_len = 0;
+  GlobalCount max_interval_len = 0;
+  double mean_interval_len = 0;
+  /// The §2.2 efficiency ratio: critical events per interval (== events
+  /// encoded per two log varints).
+  double events_per_interval = 0;
+
+  // Network log shape.
+  std::size_t network_entries = 0;
+  std::size_t content_bytes = 0;  // open-world recorded payload bytes
+  std::map<std::string, std::size_t> entries_by_kind;
+  std::size_t exception_entries = 0;
+
+  // Byte budget.
+  std::size_t serialized_bytes = 0;
+  std::size_t schedule_bytes = 0;  // the delta-varint interval encoding
+};
+
+/// Computes statistics for one log bundle.
+LogStats compute_stats(const VmLog& log);
+
+/// Multi-line human-readable rendering.
+std::string to_text(const LogStats& stats);
+
+}  // namespace djvu::record

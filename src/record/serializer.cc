@@ -1,0 +1,195 @@
+#include "record/serializer.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/crc32.h"
+
+namespace djvu::record {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'J', 'V', 'U', 'L', 'O', 'G', '1'};
+constexpr std::uint16_t kVersion = 1;
+
+// Entry field presence flags.
+enum : std::uint8_t {
+  kHasError = 1u << 0,
+  kHasConnId = 1u << 1,
+  kHasValue = 1u << 2,
+  kHasDgId = 1u << 3,
+  kHasData = 1u << 4,
+};
+
+void write_entry(ByteWriter& w, const NetworkLogEntry& e) {
+  w.varint(e.event_num);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  std::uint8_t flags = 0;
+  if (e.error != NetErrorCode::kNone) flags |= kHasError;
+  if (e.conn_id) flags |= kHasConnId;
+  if (e.value) flags |= kHasValue;
+  if (e.dg_id) flags |= kHasDgId;
+  if (e.data) flags |= kHasData;
+  w.u8(flags);
+  if (flags & kHasError) w.u8(static_cast<std::uint8_t>(e.error));
+  if (flags & kHasConnId) {
+    w.varint(e.conn_id->djvm_id)
+        .varint(e.conn_id->thread_num)
+        .varint(e.conn_id->event_num);
+  }
+  if (flags & kHasValue) w.varint(*e.value);
+  if (flags & kHasDgId) {
+    w.varint(e.dg_id->djvm_id).varint(e.dg_id->sender_gc);
+  }
+  if (flags & kHasData) w.bytes(*e.data);
+}
+
+NetworkLogEntry read_entry(ByteReader& r) {
+  NetworkLogEntry e;
+  e.event_num = r.varint();
+  e.kind = static_cast<sched::EventKind>(r.u8());
+  std::uint8_t flags = r.u8();
+  if (flags & kHasError) e.error = static_cast<NetErrorCode>(r.u8());
+  if (flags & kHasConnId) {
+    ConnectionId id;
+    id.djvm_id = static_cast<DjvmId>(r.varint());
+    id.thread_num = static_cast<ThreadNum>(r.varint());
+    id.event_num = r.varint();
+    e.conn_id = id;
+  }
+  if (flags & kHasValue) e.value = r.varint();
+  if (flags & kHasDgId) {
+    DgNetworkEventId id;
+    id.djvm_id = static_cast<DjvmId>(r.varint());
+    id.sender_gc = r.varint();
+    e.dg_id = id;
+  }
+  if (flags & kHasData) e.data = r.bytes();
+  return e;
+}
+
+}  // namespace
+
+Bytes serialize(const VmLog& log) {
+  ByteWriter w;
+  w.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
+  w.u16(kVersion);
+  w.u32(log.vm_id);
+  w.varint(log.stats.critical_events);
+  w.varint(log.stats.network_events);
+
+  // Schedule section: delta-encoded intervals, two varints each.
+  w.varint(log.schedule.per_thread.size());
+  for (const auto& list : log.schedule.per_thread) {
+    w.varint(list.size());
+    GlobalCount prev_end = 0;
+    for (const auto& lsi : list) {
+      w.varint(lsi.first - prev_end);
+      w.varint(lsi.last - lsi.first);
+      prev_end = lsi.last;
+    }
+  }
+
+  // Network section.
+  auto threads = log.network.threads();
+  w.varint(threads.size());
+  for (ThreadNum t : threads) {
+    auto entries = log.network.thread_entries(t);
+    w.varint(t);
+    w.varint(entries.size());
+    for (const auto& e : entries) write_entry(w, e);
+  }
+
+  std::uint32_t crc = crc32(w.view());
+  w.u32(crc);
+  return w.take();
+}
+
+VmLog deserialize(BytesView data) {
+  if (data.size() < 8 + 2 + 4 + 4) {
+    throw LogFormatError("log bundle too small (" +
+                         std::to_string(data.size()) + " bytes)");
+  }
+  // CRC covers everything but the trailing 4 bytes.
+  BytesView body = data.first(data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  std::uint32_t stored = crc_reader.u32();
+  if (crc32(body) != stored) {
+    throw LogFormatError("log bundle CRC mismatch: file is corrupt");
+  }
+
+  ByteReader r(body);
+  Bytes magic = r.raw(8);
+  if (!std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const std::uint8_t*>(kMagic))) {
+    throw LogFormatError("bad magic: not a DJVULOG bundle");
+  }
+  std::uint16_t version = r.u16();
+  if (version != kVersion) {
+    throw LogFormatError("unsupported log version " + std::to_string(version));
+  }
+
+  VmLog log;
+  log.vm_id = r.u32();
+  log.stats.critical_events = r.varint();
+  log.stats.network_events = r.varint();
+
+  std::uint64_t thread_count = r.varint();
+  log.schedule.per_thread.resize(thread_count);
+  for (std::uint64_t t = 0; t < thread_count; ++t) {
+    std::uint64_t n = r.varint();
+    auto& list = log.schedule.per_thread[t];
+    list.reserve(n);
+    GlobalCount prev_end = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      GlobalCount first = prev_end + r.varint();
+      GlobalCount last = first + r.varint();
+      list.push_back({first, last});
+      prev_end = last;
+    }
+  }
+
+  std::uint64_t nw_threads = r.varint();
+  for (std::uint64_t i = 0; i < nw_threads; ++i) {
+    auto t = static_cast<ThreadNum>(r.varint());
+    std::uint64_t n = r.varint();
+    for (std::uint64_t j = 0; j < n; ++j) {
+      log.network.append(t, read_entry(r));
+    }
+  }
+  if (!r.at_end()) {
+    throw LogFormatError("trailing garbage after log sections (" +
+                         std::to_string(r.remaining()) + " bytes)");
+  }
+  return log;
+}
+
+void save_to_file(const VmLog& log, const std::string& path) {
+  Bytes data = serialize(log);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) throw Error("cannot open " + path + " for writing");
+  if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw Error("short write to " + path);
+  }
+}
+
+VmLog load_from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) throw Error("cannot open " + path + " for reading");
+  Bytes data;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  return deserialize(data);
+}
+
+std::size_t log_payload_size(const VmLog& log) {
+  // Fixed framing: magic(8) + version(2) + vm_id(4) + crc(4).
+  std::size_t total = serialize(log).size();
+  return total - (8 + 2 + 4 + 4);
+}
+
+}  // namespace djvu::record

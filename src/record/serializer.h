@@ -1,0 +1,48 @@
+// Binary on-disk format for VmLog bundles.
+//
+// Layout (all integers little-endian / varint):
+//
+//   magic   "DJVULOG1"                         8 bytes
+//   version u16                                (currently 1)
+//   vm_id   u32
+//   stats   critical_events varint, network_events varint
+//   schedule section:
+//     thread_count varint
+//     per thread: interval_count varint,
+//                 intervals as (first delta-varint, length-1 varint)
+//                 — each interval costs two varints, the paper's
+//                 "efficiently encoded by two ... counter values"
+//   network section:
+//     thread_count varint
+//     per thread: threadNum varint, entry_count varint, entries
+//   crc32   u32 over everything above
+//
+// Loading validates magic, version and CRC and throws LogFormatError on any
+// mismatch (invariant I7: corrupt logs are rejected, never misreplayed).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "record/vm_log.h"
+
+namespace djvu::record {
+
+/// Serializes a VmLog to its binary form.
+Bytes serialize(const VmLog& log);
+
+/// Parses a binary VmLog; throws LogFormatError on malformed input.
+VmLog deserialize(BytesView data);
+
+/// Writes the binary form to a file; throws Error on I/O failure.
+void save_to_file(const VmLog& log, const std::string& path);
+
+/// Reads a binary VmLog from a file; throws Error / LogFormatError.
+VmLog load_from_file(const std::string& path);
+
+/// The "log size (bytes)" metric of Tables 1 and 2: size of the serialized
+/// bundle minus fixed header/trailer framing (so it measures recorded
+/// information, comparable across runs).
+std::size_t log_payload_size(const VmLog& log);
+
+}  // namespace djvu::record

@@ -1,0 +1,56 @@
+#include "record/text_export.h"
+
+#include "common/strutil.h"
+
+namespace djvu::record {
+
+std::string to_text(const NetworkLogEntry& e) {
+  std::string out = str_format("e%llu %s",
+                               static_cast<unsigned long long>(e.event_num),
+                               sched::event_kind_name(e.kind));
+  if (e.error != NetErrorCode::kNone) {
+    out += str_format(" error=%s", net_error_name(e.error));
+  }
+  if (e.conn_id) out += " client=" + to_string(*e.conn_id);
+  if (e.value) {
+    out += str_format(" value=%llu", static_cast<unsigned long long>(*e.value));
+  }
+  if (e.dg_id) out += " dg=" + to_string(*e.dg_id);
+  if (e.data) {
+    out += str_format(" data[%zu]=", e.data->size());
+    out += hex_dump(*e.data, 16);
+  }
+  return out;
+}
+
+std::string to_text(const VmLog& log) {
+  std::string out = str_format(
+      "VmLog vm=%u critical_events=%llu network_events=%llu\n", log.vm_id,
+      static_cast<unsigned long long>(log.stats.critical_events),
+      static_cast<unsigned long long>(log.stats.network_events));
+
+  out += str_format("schedule: %zu threads, %zu intervals\n",
+                    log.schedule.per_thread.size(),
+                    log.schedule.interval_count());
+  for (std::size_t t = 0; t < log.schedule.per_thread.size(); ++t) {
+    const auto& list = log.schedule.per_thread[t];
+    out += str_format("  t%zu (%zu intervals):", t, list.size());
+    for (const auto& lsi : list) {
+      out += str_format(" [%llu,%llu]",
+                        static_cast<unsigned long long>(lsi.first),
+                        static_cast<unsigned long long>(lsi.last));
+    }
+    out += '\n';
+  }
+
+  out += str_format("network log: %zu entries\n", log.network.size());
+  for (ThreadNum t : log.network.threads()) {
+    out += str_format("  t%u:\n", t);
+    for (const auto& e : log.network.thread_entries(t)) {
+      out += "    " + to_text(e) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace djvu::record

@@ -1,0 +1,142 @@
+#include "record/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/crc32.h"
+#include "common/strutil.h"
+
+namespace djvu::record {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'J', 'V', 'U', 'T', 'R', 'C', '1'};
+constexpr std::uint16_t kVersion = 1;
+
+}  // namespace
+
+Bytes serialize_trace(const TraceFile& trace) {
+  ByteWriter w;
+  w.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
+  w.u16(kVersion);
+  w.u32(trace.vm_id);
+  w.varint(trace.records.size());
+  GlobalCount prev = 0;
+  for (const sched::TraceRecord& r : trace.records) {
+    w.varint(r.gc - prev);  // gc is non-decreasing in a sorted trace
+    prev = r.gc;
+    w.varint(r.thread);
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u64(r.aux);
+  }
+  w.u32(crc32(w.view()));
+  return w.take();
+}
+
+TraceFile deserialize_trace(BytesView data) {
+  if (data.size() < 8 + 2 + 4 + 4) {
+    throw LogFormatError("trace file too small");
+  }
+  BytesView body = data.first(data.size() - 4);
+  ByteReader crc_reader(data.subspan(data.size() - 4));
+  if (crc32(body) != crc_reader.u32()) {
+    throw LogFormatError("trace file CRC mismatch: file is corrupt");
+  }
+  ByteReader r(body);
+  Bytes magic = r.raw(8);
+  if (!std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const std::uint8_t*>(kMagic))) {
+    throw LogFormatError("bad magic: not a DJVUTRC file");
+  }
+  if (std::uint16_t v = r.u16(); v != kVersion) {
+    throw LogFormatError("unsupported trace version " + std::to_string(v));
+  }
+  TraceFile trace;
+  trace.vm_id = r.u32();
+  std::uint64_t n = r.varint();
+  trace.records.reserve(n);
+  GlobalCount gc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sched::TraceRecord rec;
+    gc += r.varint();
+    rec.gc = gc;
+    rec.thread = static_cast<ThreadNum>(r.varint());
+    rec.kind = static_cast<sched::EventKind>(r.u8());
+    rec.aux = r.u64();
+    trace.records.push_back(rec);
+  }
+  if (!r.at_end()) throw LogFormatError("trailing garbage in trace file");
+  return trace;
+}
+
+void save_trace_to_file(const TraceFile& trace, const std::string& path) {
+  Bytes data = serialize_trace(trace);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) throw Error("cannot open " + path + " for writing");
+  if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw Error("short write to " + path);
+  }
+}
+
+TraceFile load_trace_from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) throw Error("cannot open " + path + " for reading");
+  Bytes data;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  return deserialize_trace(data);
+}
+
+std::string to_text(const sched::TraceRecord& r) {
+  return str_format("gc=%llu t%u %-14s aux=%016llx",
+                    static_cast<unsigned long long>(r.gc), r.thread,
+                    sched::event_kind_name(r.kind),
+                    static_cast<unsigned long long>(r.aux));
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
+                      std::size_t context_events) {
+  TraceDiff out;
+  const std::size_t n = std::min(a.records.size(), b.records.size());
+  std::size_t pos = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.records[i] == b.records[i])) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == n && a.records.size() == b.records.size()) {
+    out.identical = true;
+    out.description = "traces identical (" +
+                      std::to_string(a.records.size()) + " events)";
+    return out;
+  }
+  out.position = pos;
+  if (pos < n) {
+    out.description = str_format(
+        "first divergence at event %zu:\n  A: %s\n  B: %s", pos,
+        to_text(a.records[pos]).c_str(), to_text(b.records[pos]).c_str());
+  } else {
+    out.description = str_format(
+        "trace A has %zu events, trace B has %zu; common prefix identical",
+        a.records.size(), b.records.size());
+  }
+  auto fill = [&](const TraceFile& t, std::vector<std::string>& ctx) {
+    std::size_t lo = pos >= context_events ? pos - context_events : 0;
+    std::size_t hi = std::min(t.records.size(), pos + context_events + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ctx.push_back(str_format("%s[%zu] %s", i == pos ? ">" : " ", i,
+                               to_text(t.records[i]).c_str()));
+    }
+  };
+  fill(a, out.context_a);
+  fill(b, out.context_b);
+  return out;
+}
+
+}  // namespace djvu::record

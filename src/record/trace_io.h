@@ -1,0 +1,61 @@
+// Execution-trace persistence and offline diffing.
+//
+// Traces are the verification artifact (sched/trace.h): the gc-ordered list
+// of critical events a run executed.  Persisting them enables the offline
+// debugging workflow: record on one machine, replay elsewhere, and diff the
+// two trace files to pinpoint the first divergent event without rerunning
+// anything (examples/trace_diff.cpp).
+//
+// Format: magic "DJVUTRC1", version, vm_id, count, records (gc as delta
+// varint, thread varint, kind u8, aux u64), CRC32 trailer.  Corrupt input
+// throws LogFormatError (invariant I7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "sched/trace.h"
+
+namespace djvu::record {
+
+/// A persisted trace: identity + gc-sorted records.
+struct TraceFile {
+  DjvmId vm_id = 0;
+  std::vector<sched::TraceRecord> records;
+
+  friend bool operator==(const TraceFile&, const TraceFile&) = default;
+};
+
+/// Serializes (records must already be gc-sorted; sorted on load anyway).
+Bytes serialize_trace(const TraceFile& trace);
+
+/// Parses; throws LogFormatError on malformed input.
+TraceFile deserialize_trace(BytesView data);
+
+/// File helpers.
+void save_trace_to_file(const TraceFile& trace, const std::string& path);
+TraceFile load_trace_from_file(const std::string& path);
+
+/// One line of a trace diff report.
+struct TraceDiff {
+  bool identical = false;
+  /// Index of the first differing record (or the shorter length).
+  std::size_t position = 0;
+  /// Human-readable description of the difference.
+  std::string description;
+  /// A few records of context from each side, rendered.
+  std::vector<std::string> context_a;
+  std::vector<std::string> context_b;
+};
+
+/// Compares two traces; fills context (up to `context_events` records
+/// around the divergence per side).
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
+                      std::size_t context_events = 3);
+
+/// One-line rendering of a trace record.
+std::string to_text(const sched::TraceRecord& r);
+
+}  // namespace djvu::record

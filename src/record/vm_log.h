@@ -1,0 +1,61 @@
+// The complete record-phase output of one DJVM: identity, logical thread
+// schedule, network log and summary statistics.  This is what gets written
+// to disk after record and loaded before replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "record/network_log.h"
+#include "sched/interval.h"
+
+namespace djvu::record {
+
+/// Per-thread logical schedule: interval lists indexed by threadNum (§2.2).
+struct ScheduleLog {
+  std::vector<sched::IntervalList> per_thread;
+
+  friend bool operator==(const ScheduleLog&, const ScheduleLog&) = default;
+
+  /// Total number of recorded intervals across all threads.
+  std::size_t interval_count() const {
+    std::size_t n = 0;
+    for (const auto& list : per_thread) n += list.size();
+    return n;
+  }
+
+  /// Total number of critical events the intervals encode.
+  GlobalCount event_count() const {
+    GlobalCount n = 0;
+    for (const auto& list : per_thread) {
+      for (const auto& lsi : list) n += lsi.length();
+    }
+    return n;
+  }
+};
+
+/// Summary statistics gathered during record (drives the Tables 1/2 rows).
+struct RecordStats {
+  /// Final global counter value == number of critical events (§2.2).
+  GlobalCount critical_events = 0;
+
+  /// Number of critical events that are network events ("#nw events").
+  std::uint64_t network_events = 0;
+
+  friend bool operator==(const RecordStats&, const RecordStats&) = default;
+};
+
+/// Everything one DJVM records.
+struct VmLog {
+  /// "Each DJVM is assigned a unique JVM identity (DJVM-id) during the
+  /// record phase.  This identity is logged ... and reused in the replay
+  /// phase." (§4.1.3)
+  DjvmId vm_id = 0;
+
+  ScheduleLog schedule;
+  NetworkLog network;
+  RecordStats stats;
+};
+
+}  // namespace djvu::record

@@ -1,0 +1,53 @@
+#include "replay/connection_pool.h"
+
+namespace djvu::replay {
+
+ConnectionPool::Conn ConnectionPool::await(const ConnectionId& want,
+                                           const FetchFn& fetch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = buckets_.find(want);
+    if (it != buckets_.end() && !it->second.empty()) {
+      Conn conn = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) buckets_.erase(it);
+      return conn;
+    }
+    if (fetch_in_progress_) {
+      cv_.wait(lock);
+      continue;
+    }
+    fetch_in_progress_ = true;
+    lock.unlock();
+    std::pair<ConnectionId, Conn> fetched;
+    try {
+      fetched = fetch();
+    } catch (...) {
+      lock.lock();
+      fetch_in_progress_ = false;
+      cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    fetch_in_progress_ = false;
+    buckets_[fetched.first].push_back(std::move(fetched.second));
+    cv_.notify_all();
+  }
+}
+
+void ConnectionPool::put(const ConnectionId& id, Conn conn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_[id].push_back(std::move(conn));
+  }
+  cv_.notify_all();
+}
+
+std::size_t ConnectionPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, q] : buckets_) n += q.size();
+  return n;
+}
+
+}  // namespace djvu::replay

@@ -1,0 +1,62 @@
+// The connection pool (§4.1.3, "Replaying accept and connect").
+//
+// "To replay accept events, a DJVM maintains a data structure called
+// connection pool to buffer out-of-order connections. ... If a Socket object
+// has not already been created with the matching connectionId, the
+// DJVM-server continues to buffer information about out-of-order connections
+// in the connection pool until it receives a connection request with
+// matching connectionId."
+//
+// Several server threads may replay accepts on the same listener; net-level
+// accepting is funnelled through one fetcher at a time while the others wait
+// on the pool, so arrival order never matters.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/ids.h"
+#include "net/tcp.h"
+
+namespace djvu::replay {
+
+/// Buffers established-but-unclaimed server-side connections by the
+/// connectionId their client sent as meta data.
+class ConnectionPool {
+ public:
+  using Conn = std::shared_ptr<net::TcpConnection>;
+
+  /// One net-level accept: performs the OS accept, reads the meta data, and
+  /// returns the identified connection.  May block; may throw (e.g. when the
+  /// listener closes).
+  using FetchFn = std::function<std::pair<ConnectionId, Conn>()>;
+
+  /// Returns the connection whose meta data matched `want`, fetching (one
+  /// fetcher at a time) and buffering out-of-order arrivals until it shows
+  /// up.  Exceptions from `fetch` propagate to the caller whose fetch raised
+  /// them; other waiters keep waiting for future fetches.
+  Conn await(const ConnectionId& want, const FetchFn& fetch);
+
+  /// Directly deposits a connection (tests; also usable by an eager
+  /// background acceptor).
+  void put(const ConnectionId& id, Conn conn);
+
+  /// Buffered (unclaimed) connection count.
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  // FIFO per id: tolerates duplicate connectionIds exactly like the paper
+  // ("this lack of unique entries is not a problem" — invocation order
+  // disambiguates).
+  std::map<ConnectionId, std::deque<Conn>> buckets_;
+  bool fetch_in_progress_ = false;
+};
+
+}  // namespace djvu::replay

@@ -1,0 +1,128 @@
+#include "replay/datagram_frame.h"
+
+namespace djvu::replay {
+namespace {
+
+void append_tag(Bytes& frame, FrameType type, const DgNetworkEventId& id) {
+  ByteWriter w;
+  w.u32(id.djvm_id).u64(id.sender_gc).u8(static_cast<std::uint8_t>(type));
+  append(frame, w.view());
+}
+
+}  // namespace
+
+Bytes encode_tagged(const DgNetworkEventId& id, BytesView app_payload) {
+  Bytes frame(app_payload.begin(), app_payload.end());
+  append_tag(frame, FrameType::kTagged, id);
+  return frame;
+}
+
+std::pair<Bytes, Bytes> encode_split(const DgNetworkEventId& id,
+                                     BytesView app_payload,
+                                     std::size_t front_capacity) {
+  if (front_capacity == 0 || front_capacity >= app_payload.size()) {
+    throw UsageError("encode_split: front capacity " +
+                     std::to_string(front_capacity) +
+                     " invalid for payload of " +
+                     std::to_string(app_payload.size()) + " bytes");
+  }
+  Bytes front(app_payload.begin(),
+              app_payload.begin() + static_cast<std::ptrdiff_t>(front_capacity));
+  Bytes rear(app_payload.begin() + static_cast<std::ptrdiff_t>(front_capacity),
+             app_payload.end());
+  append_tag(front, FrameType::kSplitFront, id);
+  append_tag(rear, FrameType::kSplitRear, id);
+  return {std::move(front), std::move(rear)};
+}
+
+DecodedTag decode_tagged(BytesView frame) {
+  if (frame.size() < kTagTrailerSize) {
+    throw LogFormatError("datagram frame too small for tag trailer: " +
+                         std::to_string(frame.size()) + " bytes");
+  }
+  BytesView trailer = frame.subspan(frame.size() - kTagTrailerSize);
+  ByteReader r(trailer);
+  DecodedTag out;
+  out.id.djvm_id = r.u32();
+  out.id.sender_gc = r.u64();
+  auto type = static_cast<FrameType>(r.u8());
+  if (type != FrameType::kTagged && type != FrameType::kSplitFront &&
+      type != FrameType::kSplitRear) {
+    throw LogFormatError("unexpected datagram frame type " +
+                         std::to_string(static_cast<int>(type)));
+  }
+  out.type = type;
+  BytesView payload = frame.first(frame.size() - kTagTrailerSize);
+  out.payload.assign(payload.begin(), payload.end());
+  return out;
+}
+
+Bytes encode_rel_data(std::uint64_t seq, BytesView inner) {
+  Bytes frame(inner.begin(), inner.end());
+  ByteWriter w;
+  w.u64(seq).u8(static_cast<std::uint8_t>(FrameType::kRelData));
+  append(frame, w.view());
+  return frame;
+}
+
+Bytes encode_rel_ack(std::uint64_t seq) {
+  ByteWriter w;
+  w.u64(seq).u8(static_cast<std::uint8_t>(FrameType::kRelAck));
+  return w.take();
+}
+
+DecodedRel decode_rel(BytesView frame) {
+  if (frame.size() < kRelTrailerSize) {
+    throw LogFormatError("frame too small for reliable trailer: " +
+                         std::to_string(frame.size()) + " bytes");
+  }
+  BytesView trailer = frame.subspan(frame.size() - kRelTrailerSize);
+  ByteReader r(trailer);
+  DecodedRel out;
+  out.seq = r.u64();
+  auto type = static_cast<FrameType>(r.u8());
+  if (type == FrameType::kRelData) {
+    out.type = type;
+    BytesView inner = frame.first(frame.size() - kRelTrailerSize);
+    out.inner.assign(inner.begin(), inner.end());
+  } else if (type == FrameType::kRelAck) {
+    out.type = type;
+    if (frame.size() != kRelTrailerSize) {
+      throw LogFormatError("ACK frame with payload");
+    }
+  } else {
+    throw LogFormatError("unexpected reliable frame type " +
+                         std::to_string(static_cast<int>(type)));
+  }
+  return out;
+}
+
+std::optional<TaggedDatagram> DatagramAssembler::feed(DecodedTag frame) {
+  if (frame.type == FrameType::kTagged) {
+    return TaggedDatagram{frame.id, std::move(frame.payload)};
+  }
+  bool is_front = frame.type == FrameType::kSplitFront;
+  auto it = halves_.find(frame.id);
+  if (it == halves_.end()) {
+    halves_.emplace(frame.id, Half{is_front, std::move(frame.payload)});
+    return std::nullopt;
+  }
+  if (it->second.is_front == is_front) {
+    // Duplicate of the same half (network duplication): keep the newest.
+    it->second.payload = std::move(frame.payload);
+    return std::nullopt;
+  }
+  TaggedDatagram out;
+  out.id = frame.id;
+  if (is_front) {
+    out.payload = std::move(frame.payload);
+    append(out.payload, it->second.payload);
+  } else {
+    out.payload = std::move(it->second.payload);
+    append(out.payload, frame.payload);
+  }
+  halves_.erase(it);
+  return out;
+}
+
+}  // namespace djvu::replay

@@ -1,0 +1,118 @@
+// DJVM datagram wire framing (§4.2.2).
+//
+// "During the record phase, the sender DJVM intercepts a UDP datagram sent
+// by the application ... and inserts the DGnetworkEventId of the send event
+// at the end of the data segment of the application datagram."
+//
+// Frame layouts (meta data is a *trailer*, matching the paper's
+// end-of-data-segment placement; the receiver strips it):
+//
+//   tagged       [app bytes][djvm_id u32][sender_gc u64][type u8]
+//   split front  [front bytes][djvm_id u32][sender_gc u64][type u8]
+//   split rear   [rear bytes][djvm_id u32][sender_gc u64][type u8]
+//   raw          [app bytes]                       (non-DJVM sender)
+//   reliable     [inner frame][seq u64][type u8]   (replay-phase wrapper)
+//   reliable ack [seq u64][type u8]
+//
+// "The datagram size, due to the meta data, can become larger than the
+// maximum size allowed for a UDP datagram ... the sender DJVM splits the
+// application datagram into two, which the receiver DJVM combines into one
+// again."  Split frames carry the same DGnetworkEventId plus a front/rear
+// type flag.
+//
+// Whether a payload is framed at all is decided by world knowledge (the
+// receiver knows which hosts run DJVMs — §5's "environment known before the
+// application executes"), so raw frames need no type byte.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/errors.h"
+#include "common/ids.h"
+
+namespace djvu::replay {
+
+/// Trailer type byte values.
+enum class FrameType : std::uint8_t {
+  kTagged = 1,
+  kSplitFront = 2,
+  kSplitRear = 3,
+  kRelData = 4,
+  kRelAck = 5,
+};
+
+/// Size of the tagged trailer: djvm_id(4) + gc(8) + type(1).
+inline constexpr std::size_t kTagTrailerSize = 13;
+
+/// Size of the reliable-layer trailer: seq(8) + type(1).
+inline constexpr std::size_t kRelTrailerSize = 9;
+
+/// A decoded tagged (or reassembled split) datagram.
+struct TaggedDatagram {
+  DgNetworkEventId id;
+  Bytes payload;
+};
+
+/// Appends the tagged trailer to an application payload.
+Bytes encode_tagged(const DgNetworkEventId& id, BytesView app_payload);
+
+/// Splits an application payload into front/rear tagged frames, both
+/// carrying `id`.  `front_capacity` is the number of app bytes the front
+/// fragment may carry (callers compute it from the network's max datagram
+/// size minus trailer reservations).
+std::pair<Bytes, Bytes> encode_split(const DgNetworkEventId& id,
+                                     BytesView app_payload,
+                                     std::size_t front_capacity);
+
+/// A decoded DJVM frame (tagged or split fragment).
+struct DecodedTag {
+  FrameType type = FrameType::kTagged;
+  DgNetworkEventId id;
+  Bytes payload;  // app bytes (full or fragment)
+};
+
+/// Strips and parses the tagged trailer; throws LogFormatError on malformed
+/// frames (a DJVM never receives malformed frames from another DJVM, so
+/// this indicates corruption or misconfigured world membership).
+DecodedTag decode_tagged(BytesView frame);
+
+/// Wraps an inner frame with the reliable-layer DATA trailer.
+Bytes encode_rel_data(std::uint64_t seq, BytesView inner);
+
+/// Builds a reliable-layer ACK frame.
+Bytes encode_rel_ack(std::uint64_t seq);
+
+/// A decoded reliable-layer frame.
+struct DecodedRel {
+  FrameType type = FrameType::kRelData;
+  std::uint64_t seq = 0;
+  Bytes inner;  // DATA only
+};
+
+/// Strips and parses the reliable trailer; throws LogFormatError when the
+/// frame is not a reliable-layer frame.
+DecodedRel decode_rel(BytesView frame);
+
+/// Reassembles split datagrams: feed decoded frames, get completed
+/// datagrams.  Single-owner (callers serialize access).
+class DatagramAssembler {
+ public:
+  /// Consumes one decoded frame; returns the completed datagram when the
+  /// frame was a whole tagged datagram or completed a front/rear pair.
+  std::optional<TaggedDatagram> feed(DecodedTag frame);
+
+  /// Fragments waiting for their other half.
+  std::size_t pending() const { return halves_.size(); }
+
+ private:
+  struct Half {
+    bool is_front = false;
+    Bytes payload;
+  };
+  std::unordered_map<DgNetworkEventId, Half> halves_;
+};
+
+}  // namespace djvu::replay

@@ -1,0 +1,50 @@
+#include "replay/datagram_replay.h"
+
+namespace djvu::replay {
+
+Bytes DatagramReplayer::await(const DgNetworkEventId& want,
+                              const FetchFn& fetch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = buffer_.find(want);
+    if (it != buffer_.end()) {
+      return it->second;  // copy: the entry stays for recorded duplicates
+    }
+    if (fetch_in_progress_) {
+      cv_.wait(lock);
+      continue;
+    }
+    fetch_in_progress_ = true;
+    lock.unlock();
+    std::pair<DgNetworkEventId, Bytes> fetched;
+    try {
+      fetched = fetch();
+    } catch (...) {
+      lock.lock();
+      fetch_in_progress_ = false;
+      cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    fetch_in_progress_ = false;
+    // insert-or-keep: a reliable-layer exactly-once stream never delivers
+    // two *different* payloads for one id, so keeping the first is safe.
+    buffer_.emplace(fetched.first, std::move(fetched.second));
+    cv_.notify_all();
+  }
+}
+
+void DatagramReplayer::put(const DgNetworkEventId& id, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer_.emplace(id, std::move(payload));
+  }
+  cv_.notify_all();
+}
+
+std::size_t DatagramReplayer::buffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+}  // namespace djvu::replay

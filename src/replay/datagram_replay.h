@@ -1,0 +1,54 @@
+// Replay-phase datagram delivery (§4.2.3).
+//
+// "For reliable delivery of UDP packets during replay, we use a reliable
+// UDP mechanism ... Note that a datagram delivered during replay need be
+// ignored if it was not delivered during record. ... A datagram entry that
+// has been delivered multiple times during the record phase due to
+// duplication is kept in the buffer until it is delivered to the same number
+// of read requests as in the record phase."
+//
+// The replayer buffers every arriving datagram by DGnetworkEventId and hands
+// each receive event exactly the datagram its log entry names.  Delivered
+// payloads are retained so later recorded duplicates can be served from the
+// buffer (arrivals are exactly-once under the reliable layer).  Datagrams
+// never named by any entry simply stay buffered — the "ignored if not
+// delivered during record" rule.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace djvu::replay {
+
+/// Per-socket replay buffer; several threads may receive on one socket.
+class DatagramReplayer {
+ public:
+  /// One net-level receive: blocks for the next *complete* (reassembled)
+  /// tagged datagram.  May throw (socket closed).
+  using FetchFn = std::function<std::pair<DgNetworkEventId, Bytes>()>;
+
+  /// Returns the application payload of the datagram recorded for this
+  /// receive event, fetching (one fetcher at a time) until it arrives.
+  Bytes await(const DgNetworkEventId& want, const FetchFn& fetch);
+
+  /// Deposits a datagram directly (tests).
+  void put(const DgNetworkEventId& id, Bytes payload);
+
+  /// Number of buffered datagrams (delivered ones are retained for
+  /// potential recorded duplicates, so this only grows).
+  std::size_t buffered() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<DgNetworkEventId, Bytes> buffer_;
+  bool fetch_in_progress_ = false;
+};
+
+}  // namespace djvu::replay

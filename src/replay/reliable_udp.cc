@@ -1,0 +1,205 @@
+#include "replay/reliable_udp.h"
+
+#include <vector>
+
+#include "common/log.h"
+#include "replay/datagram_frame.h"
+
+namespace djvu::replay {
+
+ReliableUdp::ReliableUdp(std::shared_ptr<net::UdpPort> port,
+                         net::Network* network, net::Duration rto,
+                         int max_attempts)
+    : port_(std::move(port)),
+      network_(network),
+      rto_(rto),
+      max_attempts_(max_attempts) {
+  receiver_ = std::thread([this] { receiver_loop(); });
+  retransmitter_ = std::thread([this] { retransmit_loop(); });
+}
+
+ReliableUdp::~ReliableUdp() {
+  close();
+  if (receiver_.joinable()) receiver_.join();
+  if (retransmitter_.joinable()) retransmitter_.join();
+}
+
+void ReliableUdp::send(net::SocketAddress dest, BytesView payload) {
+  std::uint64_t seq;
+  Bytes frame;
+  std::vector<net::SocketAddress> first_targets;
+  const bool multicast = net::is_multicast(dest);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      throw net::NetError(NetErrorCode::kSocketClosed,
+                          "reliable send after close");
+    }
+    seq = next_seq_++;
+    frame = encode_rel_data(seq, payload);
+    Pending p;
+    p.dest = dest;
+    p.multicast = multicast;
+    p.frame = frame;
+    p.attempts = 1;
+    unacked_.emplace(seq, std::move(p));
+  }
+  if (multicast) {
+    for (const net::SocketAddress& member : network_->group_members(dest)) {
+      if (member == port_->address()) continue;  // no self-loopback
+      first_targets.push_back(member);
+    }
+  } else {
+    first_targets.push_back(dest);
+  }
+  for (const net::SocketAddress& target : first_targets) {
+    try {
+      port_->send_to(target, frame);
+    } catch (const net::NetError&) {
+      // Port closing; retransmission/close will settle it.
+    }
+  }
+}
+
+net::Datagram ReliableUdp::receive() {
+  auto dg = delivered_.pop();
+  if (!dg) {
+    throw net::NetError(NetErrorCode::kSocketClosed,
+                        "reliable receive after close");
+  }
+  return std::move(*dg);
+}
+
+void ReliableUdp::receiver_loop() {
+  for (;;) {
+    net::Datagram raw;
+    try {
+      raw = port_->receive();
+    } catch (const net::NetError&) {
+      return;  // port closed
+    }
+    DecodedRel rel;
+    try {
+      rel = decode_rel(raw.payload);
+    } catch (const LogFormatError& e) {
+      DJVU_LOG(kWarn) << "reliable UDP dropped malformed frame: " << e.what();
+      continue;
+    }
+    if (rel.type == FrameType::kRelAck) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = unacked_.find(rel.seq);
+        if (it != unacked_.end()) {
+          if (it->second.multicast) {
+            it->second.acked.insert(raw.source);  // settled per member
+          } else {
+            unacked_.erase(it);
+          }
+        }
+      }
+      cv_.notify_all();  // wake drain()
+      continue;
+    }
+    // DATA: acknowledge, dedup, deliver.
+    try {
+      port_->send_to(raw.source, encode_rel_ack(rel.seq));
+    } catch (const net::NetError&) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto [it, fresh] = seen_[raw.source].insert(rel.seq);
+      if (!fresh) continue;  // duplicate (retransmission)
+    }
+    delivered_.push(net::Datagram{raw.source, std::move(rel.inner)});
+  }
+}
+
+void ReliableUdp::retransmit_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, rto_, [&] { return closed_; })) return;
+    std::vector<std::pair<net::SocketAddress, Bytes>> resend;
+    for (auto it = unacked_.begin(); it != unacked_.end();) {
+      Pending& p = it->second;
+      if (p.multicast) {
+        // Re-resolve membership each round so members joining *after* the
+        // send still receive the datagram.  The entry is retained (members
+        // may keep joining) and ages out at the attempt cap; if everyone
+        // current had acked by then, that is a quiet success.
+        bool outstanding = false;
+        for (const net::SocketAddress& member :
+             network_->group_members(p.dest)) {
+          if (member == port_->address()) continue;
+          if (p.acked.contains(member)) continue;
+          resend.emplace_back(member, p.frame);
+          outstanding = true;
+        }
+        if (++p.attempts >= max_attempts_) {
+          if (outstanding) {
+            DJVU_LOG(kWarn) << "reliable multicast gave up on seq "
+                            << it->first << " with unacked members";
+          }
+          it = unacked_.erase(it);
+          continue;
+        }
+      } else {
+        if (p.attempts >= max_attempts_) {
+          DJVU_LOG(kWarn) << "reliable UDP gave up on seq " << it->first
+                          << " after " << p.attempts << " attempts";
+          it = unacked_.erase(it);
+          continue;
+        }
+        resend.emplace_back(p.dest, p.frame);
+        ++p.attempts;
+      }
+      ++it;
+    }
+    lock.unlock();
+    cv_.notify_all();  // unacked_ may have settled; wake drain()
+    for (auto& [dest, frame] : resend) {
+      try {
+        port_->send_to(dest, frame);
+      } catch (const net::NetError&) {
+        lock.lock();
+        return;
+      }
+    }
+    lock.lock();
+  }
+}
+
+bool ReliableUdp::settled_locked() const {
+  for (const auto& [seq, p] : unacked_) {
+    if (!p.multicast) return false;
+    for (const net::SocketAddress& member : network_->group_members(p.dest)) {
+      if (member == port_->address()) continue;
+      if (!p.acked.contains(member)) return false;
+    }
+  }
+  return true;
+}
+
+bool ReliableUdp::drain(net::Duration timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [&] { return closed_ || settled_locked(); });
+}
+
+void ReliableUdp::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  delivered_.close();
+  port_->close();
+}
+
+std::size_t ReliableUdp::unacked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unacked_.size();
+}
+
+}  // namespace djvu::replay

@@ -1,0 +1,120 @@
+// Pseudo-reliable UDP for the replay phase (§4.2.3, footnote 3).
+//
+// "If no reliable UDP is available, a pseudo-reliable UDP can be implemented
+// as part of the sender and the receiver DJVMs by storing sent and received
+// datagrams and exchanging acknowledgment and negative-acknowledgment
+// messages between the DJVMs."
+//
+// Implementation: positive acks + timeout retransmission + receiver-side
+// dedup.  Each outgoing datagram is wrapped in a DATA frame with a per-
+// socket sequence number; the receiver acks every DATA frame and drops
+// duplicates by (source, seq).  A retransmission daemon re-sends unacked
+// frames until acked or an attempt cap is reached (the cap only bounds
+// daemon traffic if a peer disappears; with the simulator's loss rates the
+// chance of a datagram dying under the cap is negligible).
+//
+// Delivery remains possibly out-of-order — exactly the guarantee the
+// paper's replay mechanism needs ("reliable, but possibly out of order,
+// delivery").
+//
+// Multicast: a multicast send keeps its *group* as the destination, and each
+// retransmission round re-resolves the group's current members (minus those
+// that already acked).  This matters during replay: a receiver joins the
+// group at its own replayed turn, possibly after the sender's send event —
+// re-resolving guarantees the late joiner still receives every datagram it
+// recorded, while receivers that never recorded it simply ignore the extra
+// delivery (DatagramReplayer's drop-unrecorded rule).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/blocking_queue.h"
+#include "common/bytes.h"
+#include "net/network.h"
+#include "net/udp.h"
+
+namespace djvu::replay {
+
+/// Reliable wrapper around one bound UdpPort.
+class ReliableUdp {
+ public:
+  /// Takes shared ownership of the port; `network` resolves multicast
+  /// groups.  `rto` is the retransmission timeout.
+  ReliableUdp(std::shared_ptr<net::UdpPort> port, net::Network* network,
+              net::Duration rto = std::chrono::milliseconds(3),
+              int max_attempts = 1000);
+
+  ~ReliableUdp();
+  ReliableUdp(const ReliableUdp&) = delete;
+  ReliableUdp& operator=(const ReliableUdp&) = delete;
+
+  /// Sends `payload` reliably to `dest` (unicast or multicast group).
+  /// Returns after the first transmission; retransmission is asynchronous.
+  void send(net::SocketAddress dest, BytesView payload);
+
+  /// Blocks for the next application-level datagram (exactly-once per
+  /// sender seq, arrival order).  Throws NetError(kSocketClosed) once
+  /// closed.
+  net::Datagram receive();
+
+  /// Blocks until every outstanding frame is settled — unicast frames
+  /// acked, multicast frames acked by every *current* member — or the
+  /// timeout expires.  Returns true when fully settled.  Senders call this
+  /// before close() so replay-time losses still get retransmitted (a
+  /// replayed component must not vanish while a peer still needs its
+  /// datagrams).
+  bool drain(net::Duration timeout);
+
+  /// Stops the daemons and closes the port (idempotent).
+  void close();
+
+  /// Outstanding unacked frames (tests).
+  std::size_t unacked() const;
+
+  /// The wrapped port's address.
+  net::SocketAddress address() const { return port_->address(); }
+
+ private:
+  struct Pending {
+    net::SocketAddress dest;  // unicast address or multicast group
+    bool multicast = false;
+    Bytes frame;
+    int attempts = 0;
+    /// Members that acked so far (multicast only).
+    std::unordered_set<net::SocketAddress> acked;
+  };
+
+  /// Daemon loops.
+  void receiver_loop();
+  void retransmit_loop();
+
+  /// True when nothing is outstanding (mutex_ held).
+  bool settled_locked() const;
+
+  std::shared_ptr<net::UdpPort> port_;
+  net::Network* network_;
+  const net::Duration rto_;
+  const int max_attempts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // wakes the retransmit daemon on close
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, Pending> unacked_;
+  std::unordered_map<net::SocketAddress, std::unordered_set<std::uint64_t>>
+      seen_;
+
+  BlockingQueue<net::Datagram> delivered_;
+
+  std::thread receiver_;
+  std::thread retransmitter_;
+};
+
+}  // namespace djvu::replay

@@ -1,0 +1,95 @@
+// The critical-event vocabulary.
+//
+// "We collectively refer to the events, such as shared variable accesses and
+// synchronization events, whose execution order can affect the execution
+// behavior of the application as critical events." (§2.1)  Distributed
+// DejaVu additionally identifies every network event as a critical event
+// (§3).
+#pragma once
+
+#include <cstdint>
+
+namespace djvu::sched {
+
+/// Kinds of critical events ordered by the per-DJVM global counter.
+enum class EventKind : std::uint8_t {
+  // Shared-memory critical events (single-VM DejaVu, §2).
+  kSharedRead = 0,
+  kSharedWrite = 1,
+  kMonitorEnter = 2,
+  kMonitorExit = 3,
+  kWaitRelease = 4,   // wait(): monitor released, thread blocks
+  kWaitReacquire = 5, // wait(): thread resumed, monitor re-acquired
+  kNotify = 6,
+  kNotifyAll = 7,
+  kThreadStart = 8,
+  kThreadExit = 9,
+  /// Checkpoint barrier (src/checkpoint — the paper's future-work
+  /// extension "integrating the system with checkpointing to bound the
+  /// replay time").
+  kCheckpoint = 10,
+  /// Wall-clock query (vm/system_api.h): the value is recorded and served
+  /// back during replay — System.currentTimeMillis-style nondeterminism.
+  kTimeRead = 11,
+
+  // Stream-socket network events (§4.1).
+  kSockCreate = 16,
+  kSockBind = 17,
+  kSockListen = 18,
+  kSockConnect = 19,
+  kSockAccept = 20,
+  kSockRead = 21,
+  kSockWrite = 22,
+  kSockAvailable = 23,
+  kSockClose = 24,
+
+  // Datagram-socket network events (§4.2).
+  kUdpCreate = 32,
+  kUdpSend = 33,
+  kUdpReceive = 34,
+  kUdpClose = 35,
+  kMcastJoin = 36,
+  kMcastLeave = 37,
+};
+
+/// True for the events §3 classifies as network events — the ones that also
+/// get NetworkLogFile treatment and count in the tables' "#nw events".
+constexpr bool is_network_event(EventKind k) {
+  return static_cast<std::uint8_t>(k) >= 16;
+}
+
+/// Stable short name for diagnostics and the text log exporter.
+constexpr const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSharedRead: return "shared-read";
+    case EventKind::kSharedWrite: return "shared-write";
+    case EventKind::kMonitorEnter: return "monitor-enter";
+    case EventKind::kMonitorExit: return "monitor-exit";
+    case EventKind::kWaitRelease: return "wait-release";
+    case EventKind::kWaitReacquire: return "wait-reacquire";
+    case EventKind::kNotify: return "notify";
+    case EventKind::kNotifyAll: return "notify-all";
+    case EventKind::kThreadStart: return "thread-start";
+    case EventKind::kThreadExit: return "thread-exit";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kTimeRead: return "time-read";
+    case EventKind::kSockCreate: return "sock-create";
+    case EventKind::kSockBind: return "sock-bind";
+    case EventKind::kSockListen: return "sock-listen";
+    case EventKind::kSockConnect: return "sock-connect";
+    case EventKind::kSockAccept: return "sock-accept";
+    case EventKind::kSockRead: return "sock-read";
+    case EventKind::kSockWrite: return "sock-write";
+    case EventKind::kSockAvailable: return "sock-available";
+    case EventKind::kSockClose: return "sock-close";
+    case EventKind::kUdpCreate: return "udp-create";
+    case EventKind::kUdpSend: return "udp-send";
+    case EventKind::kUdpReceive: return "udp-receive";
+    case EventKind::kUdpClose: return "udp-close";
+    case EventKind::kMcastJoin: return "mcast-join";
+    case EventKind::kMcastLeave: return "mcast-leave";
+  }
+  return "?";
+}
+
+}  // namespace djvu::sched

@@ -1,0 +1,140 @@
+// The per-DJVM global counter and GC-critical section (§2.2).
+//
+// "The approach to capture logical thread schedule information is based on a
+// global counter (i.e., time stamp) shared by all the threads ... The global
+// counter ticks at each execution of a critical event to uniquely identify
+// each critical event."
+//
+// Record mode: `with_section(f)` performs counter update + event execution
+// as one atomic operation (the paper's application-transparent, light-weight
+// GC-critical section).  Blocking events instead run outside the section and
+// call `tick()` afterwards to mark themselves.
+//
+// Replay mode: `await(g)` blocks a thread until the counter reaches its next
+// event's recorded value; `tick()` releases the next event in the total
+// order.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/errors.h"
+#include "common/ids.h"
+
+namespace djvu::sched {
+
+/// Thread-safe global counter with turn-waiting.
+class GlobalCounter {
+ public:
+  GlobalCounter() = default;
+  GlobalCounter(const GlobalCounter&) = delete;
+  GlobalCounter& operator=(const GlobalCounter&) = delete;
+
+  /// Current value (== number of critical events executed so far).
+  GlobalCount value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+  /// Marks one critical event: atomically assigns the current value to the
+  /// event and increments.  Returns the assigned value.
+  GlobalCount tick() {
+    GlobalCount v;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      v = value_++;
+    }
+    cv_.notify_all();
+    return v;
+  }
+
+  /// GC-critical section: runs `f` with the counter lock held and the event
+  /// numbered `value()`, then increments — counter update and event
+  /// execution as a single atomic action (record mode, non-blocking events).
+  /// Returns the pair (assigned counter value, f's result) — or just the
+  /// value when f returns void.
+  template <typename F>
+  GlobalCount with_section(F&& f) {
+    GlobalCount v;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      v = value_;
+      std::forward<F>(f)(v);
+      ++value_;
+    }
+    cv_.notify_all();
+    return v;
+  }
+
+  /// Jumps the counter forward to `target` (replay-from-checkpoint: the
+  /// skipped prefix of events is accounted for in one step).  Throws
+  /// UsageError when the counter is already past `target`.
+  void advance_to(GlobalCount target) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (value_ > target) {
+        throw UsageError("advance_to moving the global counter backwards");
+      }
+      value_ = target;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the counter equals `target` (replay turn-waiting).
+  /// Throws ReplayDivergenceError if the counter is already past `target`
+  /// (an earlier event over-ticked — the log and the execution disagree),
+  /// if the counter has been poisoned, or if it stalls for `stall_timeout`
+  /// (a tampered/mismatched log can leave every thread waiting for a value
+  /// nobody will produce; the detector turns that deadlock into a
+  /// diagnosable error).
+  void await(GlobalCount target,
+             std::chrono::milliseconds stall_timeout =
+                 std::chrono::milliseconds(10000)) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    GlobalCount last_seen = value_;
+    auto last_change = std::chrono::steady_clock::now();
+    for (;;) {
+      if (poisoned_) {
+        throw ReplayDivergenceError(
+            "replay aborted: another thread diverged (counter poisoned)");
+      }
+      if (value_ >= target) break;
+      cv_.wait_for(lock, std::chrono::milliseconds(200));
+      auto now = std::chrono::steady_clock::now();
+      if (value_ != last_seen) {
+        last_seen = value_;
+        last_change = now;
+      } else if (now - last_change > stall_timeout) {
+        throw ReplayDivergenceError(
+            "global counter stalled at " + std::to_string(value_) +
+            " while waiting for " + std::to_string(target) +
+            ": the schedule log does not match this execution");
+      }
+    }
+    if (value_ > target) {
+      throw ReplayDivergenceError(
+          "global counter passed " + std::to_string(target) +
+          " (now " + std::to_string(value_) + "): schedule divergence");
+    }
+  }
+
+  /// Marks the counter poisoned: every current and future await throws.
+  /// Called when any thread of the VM fails, so sibling threads unwind
+  /// instead of waiting for turns that will never come.
+  void poison() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      poisoned_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  GlobalCount value_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace djvu::sched

@@ -1,0 +1,142 @@
+// Logical schedule intervals (§2.2).
+//
+// "Each logical schedule interval LSI_i is a set of maximally consecutive
+// critical events of a thread, and can be represented by its first and last
+// critical events: LSI_i = <FirstCEvent_i, LastCEvent_i>."
+//
+// The on-the-fly detection uses the paper's global/local counter trick: each
+// thread also keeps a local counter that ticks at each of its own critical
+// events; the *difference* (global - local) is constant exactly while the
+// thread's events are globally consecutive, so a change in the difference
+// marks an interval boundary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/ids.h"
+
+namespace djvu::sched {
+
+/// One logical schedule interval: [first, last] global-counter values of a
+/// maximal consecutive run of one thread's critical events.
+struct LogicalInterval {
+  GlobalCount first = 0;
+  GlobalCount last = 0;
+
+  friend bool operator==(const LogicalInterval&,
+                         const LogicalInterval&) = default;
+
+  /// Number of critical events the interval encodes.
+  GlobalCount length() const { return last - first + 1; }
+};
+
+/// Per-thread interval list (one thread's share of the schedule log).
+using IntervalList = std::vector<LogicalInterval>;
+
+/// Per-thread on-the-fly interval detector used during record.
+///
+/// Not thread-safe by design: each application thread owns one recorder and
+/// only touches it from inside its own critical events.
+class IntervalRecorder {
+ public:
+  /// Notes that this thread's next critical event was assigned global
+  /// counter value `gc`.
+  void on_event(GlobalCount gc) {
+    ++local_count_;
+    if (!open_) {
+      open_ = true;
+      first_ = last_ = gc;
+      diff_ = gc - local_count_;
+      return;
+    }
+    // Interval boundary iff the global/local difference changed — i.e. some
+    // other thread's critical event executed in between.
+    if (gc - local_count_ != diff_) {
+      intervals_.push_back({first_, last_});
+      first_ = gc;
+      diff_ = gc - local_count_;
+    }
+    last_ = gc;
+  }
+
+  /// Closes any open interval (thread exit) and returns the complete list.
+  IntervalList finish() {
+    if (open_) {
+      intervals_.push_back({first_, last_});
+      open_ = false;
+    }
+    return std::move(intervals_);
+  }
+
+  /// Number of this thread's critical events so far (its local counter).
+  GlobalCount local_count() const { return local_count_; }
+
+ private:
+  IntervalList intervals_;
+  bool open_ = false;
+  GlobalCount first_ = 0;
+  GlobalCount last_ = 0;
+  GlobalCount local_count_ = 0;  // ticks at each of this thread's events
+  GlobalCount diff_ = 0;         // global - local, constant within an interval
+};
+
+/// Replay-side cursor over one thread's interval list: yields the global
+/// counter value of each successive critical event.
+class IntervalCursor {
+ public:
+  IntervalCursor() = default;
+  explicit IntervalCursor(IntervalList intervals)
+      : intervals_(std::move(intervals)) {}
+
+  /// True when every recorded event has been consumed.
+  bool exhausted() const { return index_ >= intervals_.size(); }
+
+  /// Global counter value of the thread's next critical event.  Throws
+  /// ReplayDivergenceError when the thread attempts more critical events
+  /// than were recorded.
+  GlobalCount peek() const {
+    if (exhausted()) {
+      throw ReplayDivergenceError(
+          "thread attempted a critical event beyond its recorded schedule");
+    }
+    return intervals_[index_].first + offset_;
+  }
+
+  /// Consumes the next event.
+  void advance() {
+    if (exhausted()) {
+      throw ReplayDivergenceError(
+          "thread advanced past its recorded schedule");
+    }
+    if (intervals_[index_].first + offset_ == intervals_[index_].last) {
+      ++index_;
+      offset_ = 0;
+    } else {
+      ++offset_;
+    }
+  }
+
+  /// Fast-forwards past every event with counter value <= limit
+  /// (replay-from-checkpoint).
+  void skip_through(GlobalCount limit) {
+    while (!exhausted() && peek() <= limit) advance();
+  }
+
+  /// Events remaining across all intervals.
+  GlobalCount remaining() const {
+    GlobalCount n = 0;
+    for (std::size_t i = index_; i < intervals_.size(); ++i) {
+      n += intervals_[i].length();
+    }
+    return n > offset_ ? n - offset_ : 0;
+  }
+
+ private:
+  IntervalList intervals_;
+  std::size_t index_ = 0;
+  GlobalCount offset_ = 0;
+};
+
+}  // namespace djvu::sched

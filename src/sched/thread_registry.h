@@ -1,0 +1,86 @@
+// Per-VM thread bookkeeping.
+//
+// "Since threads are created in the same order in the record and replay
+// phases, our implementation guarantees that a thread has the same threadNum
+// value in both the record and replay phases." (§4.1.3)  Thread creation is
+// itself a critical event, so creation order — and therefore threadNum
+// assignment — is part of the enforced schedule.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/ids.h"
+#include "sched/interval.h"
+
+namespace djvu::sched {
+
+/// Mutable per-thread record/replay state.  Owned by the registry; used only
+/// by its own application thread (no internal locking needed).
+struct ThreadState {
+  ThreadNum num = 0;
+
+  /// Record mode: on-the-fly logical-interval detection.
+  IntervalRecorder recorder;
+
+  /// Replay mode: cursor over this thread's recorded intervals.
+  IntervalCursor cursor;
+
+  /// Per-thread network event numbering ("eventNum is used to order network
+  /// events within a specific thread").  Advances identically in record and
+  /// replay because it counts API calls, not outcomes.
+  EventNum next_network_event = 0;
+
+  /// Allocates the eventNum for the network event being executed.
+  EventNum take_network_event_num() { return next_network_event++; }
+};
+
+/// Registry of all threads of one VM; assigns creation-order thread numbers.
+class ThreadRegistry {
+ public:
+  ThreadRegistry() = default;
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  /// Creates the state for the next thread (creation order).  Thread-safety
+  /// note: in record/replay modes callers must invoke this from inside the
+  /// spawn critical event so that numbering is part of the schedule.
+  ThreadState& register_thread() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& state = threads_.emplace_back(std::make_unique<ThreadState>());
+    state->num = static_cast<ThreadNum>(threads_.size() - 1);
+    return *state;
+  }
+
+  /// Looks up a thread's state; nullptr when out of range.
+  ThreadState* find(ThreadNum num) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (num >= threads_.size()) return nullptr;
+    return threads_[num].get();
+  }
+
+  /// Number of threads registered so far.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_.size();
+  }
+
+  /// Closes every thread's open interval and returns the per-thread interval
+  /// lists indexed by threadNum (end of record).
+  std::vector<IntervalList> collect_intervals() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<IntervalList> out;
+    out.reserve(threads_.size());
+    for (auto& t : threads_) out.push_back(t->recorder.finish());
+    return out;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<ThreadState>> threads_;
+};
+
+}  // namespace djvu::sched

@@ -1,0 +1,65 @@
+// Execution traces for replay verification.
+//
+// A trace is the ordered list of critical events one VM executed, each with
+// its global counter value, thread, kind and a payload hash (e.g. CRC of the
+// bytes a read returned, or the value a shared-variable access observed).
+// Record and replay each produce a trace; the Verifier (src/core) asserts
+// they are identical — the executable form of "a perfect replay is
+// observed" (§6).
+//
+// Tracing is optional (Vm config) so overhead measurements can exclude it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sched/critical_event.h"
+
+namespace djvu::sched {
+
+/// One critical event in a trace.
+struct TraceRecord {
+  GlobalCount gc = 0;
+  ThreadNum thread = 0;
+  EventKind kind = EventKind::kSharedRead;
+  std::uint64_t aux = 0;  // payload hash / observed value
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Thread-safe append-only trace.
+class ExecutionTrace {
+ public:
+  /// Appends one record (any thread).
+  void append(const TraceRecord& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(r);
+  }
+
+  /// Records sorted by global counter value (the per-VM total order).
+  std::vector<TraceRecord> sorted() const;
+
+  /// Number of records.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
+
+  /// Order-insensitive-input, order-significant-output digest of the trace
+  /// (CRC over the gc-sorted serialized records).
+  std::uint64_t digest() const;
+
+  /// Human-readable description of the first position where two traces
+  /// differ; empty string when identical.
+  static std::string first_divergence(const ExecutionTrace& recorded,
+                                      const ExecutionTrace& replayed);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace djvu::sched

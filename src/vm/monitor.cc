@@ -1,0 +1,147 @@
+#include "vm/monitor.h"
+
+namespace djvu::vm {
+
+using sched::EventKind;
+
+ThreadNum Monitor::check_owner(const char* op) {
+  ThreadNum self = vm_.current_state().num;
+  if (owner_.load(std::memory_order_relaxed) != std::int64_t{self}) {
+    throw UsageError(std::string(op) +
+                     " called by a thread that does not own the monitor");
+  }
+  return self;
+}
+
+void Monitor::enter() {
+  ThreadNum self = vm_.current_state().num;
+  if (owner_.load(std::memory_order_relaxed) == std::int64_t{self}) {
+    // Reentrant acquisition: non-blocking, still a critical event.
+    ++depth_;
+    vm_.mark_event(EventKind::kMonitorEnter, static_cast<std::uint64_t>(depth_));
+    return;
+  }
+  if (vm_.mode() == Mode::kReplay) {
+    // Turn first: once it is this event's turn, the previous holder's exit
+    // has already ticked (and unlocked), so lock() cannot block.
+    vm_.replay_turn_begin();
+    mutex_.lock();
+    owner_.store(self, std::memory_order_relaxed);
+    depth_ = 1;
+    vm_.replay_turn_end(EventKind::kMonitorEnter, 1);
+  } else {
+    // Record (and passthrough): blocking acquisition outside the
+    // GC-critical section, marked afterwards.
+    mutex_.lock();
+    owner_.store(self, std::memory_order_relaxed);
+    depth_ = 1;
+    vm_.mark_event(EventKind::kMonitorEnter, 1);  // no-op in passthrough
+  }
+}
+
+void Monitor::exit() {
+  check_owner("Monitor::exit");
+  if (depth_ > 1) {
+    --depth_;
+    vm_.mark_event(EventKind::kMonitorExit, static_cast<std::uint64_t>(depth_));
+    return;
+  }
+  // Real release *inside* the GC-critical section: exit-tick happens-before
+  // any later enter-tick, which is what makes replay-time acquisition
+  // non-blocking.
+  vm_.critical_event(EventKind::kMonitorExit, [&](GlobalCount) {
+    depth_ = 0;
+    owner_.store(kNoOwner, std::memory_order_relaxed);
+    mutex_.unlock();
+    return std::uint64_t{0};
+  });
+}
+
+void Monitor::wait() {
+  ThreadNum self = check_owner("Monitor::wait");
+  int saved_depth = depth_;  // Java wait releases fully even when nested
+
+  if (vm_.mode() == Mode::kReplay) {
+    // Release at the recorded kWaitRelease turn...
+    vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
+      depth_ = 0;
+      owner_.store(kNoOwner, std::memory_order_relaxed);
+      mutex_.unlock();
+      return std::uint64_t{0};
+    });
+    // ...and skip the condition variable entirely: the schedule already
+    // places the matching notify before our kWaitReacquire event.
+    vm_.replay_turn_begin();
+    mutex_.lock();
+    owner_.store(self, std::memory_order_relaxed);
+    depth_ = saved_depth;
+    vm_.replay_turn_end(EventKind::kWaitReacquire, 0);
+    return;
+  }
+
+  // Record / passthrough: tick the release while still physically holding
+  // the mutex (so the release tick precedes any successor's enter tick),
+  // then let cv_.wait perform the atomic unlock+sleep — a notifier must
+  // hold the monitor, so it cannot run before we are inside wait().
+  vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
+    depth_ = 0;
+    owner_.store(kNoOwner, std::memory_order_relaxed);
+    return std::uint64_t{0};
+  });
+  std::unique_lock<std::mutex> lk(mutex_, std::adopt_lock);
+  cv_.wait(lk);
+  lk.release();  // keep holding; we own the monitor again
+  owner_.store(self, std::memory_order_relaxed);
+  depth_ = saved_depth;
+  vm_.mark_event(EventKind::kWaitReacquire, 0);
+}
+
+void Monitor::wait_for(std::chrono::milliseconds timeout) {
+  ThreadNum self = check_owner("Monitor::wait_for");
+  int saved_depth = depth_;
+
+  if (vm_.mode() == Mode::kReplay) {
+    vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
+      depth_ = 0;
+      owner_.store(kNoOwner, std::memory_order_relaxed);
+      mutex_.unlock();
+      return std::uint64_t{0};
+    });
+    vm_.replay_turn_begin();
+    mutex_.lock();
+    owner_.store(self, std::memory_order_relaxed);
+    depth_ = saved_depth;
+    vm_.replay_turn_end(EventKind::kWaitReacquire, 0);
+    return;
+  }
+
+  vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
+    depth_ = 0;
+    owner_.store(kNoOwner, std::memory_order_relaxed);
+    return std::uint64_t{0};
+  });
+  std::unique_lock<std::mutex> lk(mutex_, std::adopt_lock);
+  cv_.wait_for(lk, timeout);  // timeout vs notify: both are just a reacquire
+  lk.release();
+  owner_.store(self, std::memory_order_relaxed);
+  depth_ = saved_depth;
+  vm_.mark_event(EventKind::kWaitReacquire, 0);
+}
+
+void Monitor::notify() {
+  check_owner("Monitor::notify");
+  vm_.critical_event(EventKind::kNotify, [&](GlobalCount) {
+    if (vm_.mode() != Mode::kReplay) cv_.notify_one();
+    return std::uint64_t{0};
+  });
+}
+
+void Monitor::notify_all() {
+  check_owner("Monitor::notify_all");
+  vm_.critical_event(EventKind::kNotifyAll, [&](GlobalCount) {
+    if (vm_.mode() != Mode::kReplay) cv_.notify_all();
+    return std::uint64_t{0};
+  });
+}
+
+}  // namespace djvu::vm

@@ -1,0 +1,627 @@
+#include "vm/socket_api.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/crc32.h"
+#include "record/log_entries.h"
+
+namespace djvu::vm {
+namespace {
+
+using sched::EventKind;
+
+/// Wire size of the connectionId meta data: vm(4) + thread(4) + event(8).
+constexpr std::size_t kMetaSize = 16;
+
+Bytes encode_meta(const ConnectionId& id) {
+  ByteWriter w;
+  w.u32(id.djvm_id).u32(id.thread_num).u64(id.event_num);
+  return w.take();
+}
+
+ConnectionId decode_meta(BytesView data) {
+  ByteReader r(data);
+  ConnectionId id;
+  id.djvm_id = r.u32();
+  id.thread_num = r.u32();
+  id.event_num = r.u64();
+  return id;
+}
+
+std::uint64_t encode_addr(net::SocketAddress a) {
+  return (std::uint64_t{a.host} << 16) | a.port;
+}
+
+net::SocketAddress decode_addr(std::uint64_t v) {
+  return {static_cast<net::HostId>(v >> 16),
+          static_cast<net::Port>(v & 0xffff)};
+}
+
+std::uint64_t crc_aux(BytesView data) { return crc32(data); }
+
+std::uint64_t conn_id_aux(const ConnectionId& id) {
+  return (std::uint64_t{id.djvm_id} << 40) ^ (std::uint64_t{id.thread_num} << 20) ^
+         id.event_num;
+}
+
+[[noreturn]] void rethrow_as_socket_exception(const net::NetError& e,
+                                              const std::string& op) {
+  if (e.code() == NetErrorCode::kConnectionRefused) {
+    throw ConnectException(op);
+  }
+  if (e.code() == NetErrorCode::kAddressInUse) {
+    throw BindException(op);
+  }
+  if (e.code() == NetErrorCode::kTimedOut) {
+    throw SocketTimeoutException(op);
+  }
+  throw SocketException(e.code(), op);
+}
+
+[[noreturn]] void throw_recorded(NetErrorCode code, const std::string& op) {
+  if (code == NetErrorCode::kConnectionRefused) throw ConnectException(op);
+  if (code == NetErrorCode::kAddressInUse) throw BindException(op);
+  if (code == NetErrorCode::kTimedOut) throw SocketTimeoutException(op);
+  throw SocketException(code, op);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket — client constructor (create + connect)
+// ---------------------------------------------------------------------------
+
+Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
+  if (!vm_.instrumented()) {
+    // Plain JVM: raw connect, no events, no meta data.
+    try {
+      conn_ = vm_.network().connect(vm_.host(), remote_);
+    } catch (const net::NetError& e) {
+      rethrow_as_socket_exception(e, "connect to " + to_string(remote_));
+    }
+    return;
+  }
+
+  peer_is_djvm_ = vm_.is_djvm_host(remote_.host);
+  sched::ThreadState& st = vm_.current_state();
+
+  // create event (§4.1.2 lists create among the native calls).
+  st.take_network_event_num();
+  vm_.mark_event(EventKind::kSockCreate, 0);
+
+  const EventNum en = st.take_network_event_num();
+  const ConnectionId my_id{vm_.vm_id(), st.num, en};
+
+  if (vm_.mode() == Mode::kRecord) {
+    try {
+      // Blocking connect executes outside the GC-critical section.
+      conn_ = vm_.network().connect(vm_.host(), remote_);
+      if (peer_is_djvm_) {
+        // "the client thread ... sends the connectionId for the connect
+        // over the established socket as the first data (meta data) ...
+        // via a low level (native) socket write" — not itself an event.
+        conn_->write(encode_meta(my_id));
+      } else {
+        // Open-world scheme: record that the connect succeeded so replay
+        // can virtualize it.
+        record::NetworkLogEntry e;
+        e.kind = EventKind::kSockConnect;
+        e.event_num = en;
+        e.value = 1;
+        vm_.network_log().append(st.num, std::move(e));
+      }
+      vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+    } catch (const net::NetError& err) {
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockConnect;
+      e.event_num = en;
+      e.error = err.code();
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockConnect,
+                     static_cast<std::uint64_t>(err.code()));
+      rethrow_as_socket_exception(err, "connect to " + to_string(remote_));
+    }
+    return;
+  }
+
+  // Replay.
+  const record::NetworkLogEntry* entry =
+      vm_.replay_log()->network.find(st.num, en);
+  if (entry != nullptr && entry->error != NetErrorCode::kNone) {
+    // Re-throw the recorded exception without executing the connect.
+    vm_.mark_event(EventKind::kSockConnect,
+                   static_cast<std::uint64_t>(entry->error));
+    throw_recorded(entry->error, "connect to " + to_string(remote_));
+  }
+  if (!peer_is_djvm_) {
+    // Open-world: "The actual operating system-level connect call is not
+    // executed."
+    if (entry == nullptr || !entry->value) {
+      throw ReplayDivergenceError("replay connect without recorded outcome");
+    }
+    virtual_ = true;
+    vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+    return;
+  }
+  // Closed-world: re-execute the connect eagerly and re-send the meta data.
+  // The peer DJVM replays its listen at its own pace, so transient refusals
+  // are retried (the record phase proved this connect succeeds).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    try {
+      conn_ = vm_.network().connect(vm_.host(), remote_);
+      break;
+    } catch (const net::NetError& err) {
+      if (err.code() == NetErrorCode::kConnectionRefused &&
+          std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      throw ReplayDivergenceError(
+          "recorded-successful connect failed during replay: " +
+          std::string(err.what()));
+    }
+  }
+  conn_->write(encode_meta(my_id));
+  // "DJVM-client ensures that the connect call returns only when the
+  // globalCounter for this critical event is reached."
+  vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+}
+
+Socket::Socket(Vm& vm, std::shared_ptr<net::TcpConnection> conn,
+               bool peer_is_djvm)
+    : vm_(vm),
+      conn_(std::move(conn)),
+      remote_(conn_->remote_address()),
+      peer_is_djvm_(peer_is_djvm) {}
+
+Socket::Socket(Vm& vm, net::SocketAddress remote, bool virtual_tag)
+    : vm_(vm), remote_(remote), virtual_(virtual_tag) {}
+
+Socket::~Socket() {
+  if (conn_ == nullptr || closed_) return;
+  // Quiet release (no events).  In replay, only half-close so re-executed
+  // peer writes that succeeded during record cannot hit a reset.
+  if (vm_.instrumented() && vm_.mode() == Mode::kReplay) {
+    conn_->shutdown_write();
+  } else {
+    conn_->close();
+  }
+}
+
+void Socket::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (!vm_.instrumented()) {
+    if (conn_) conn_->close();
+    return;
+  }
+  sched::ThreadState& st = vm_.current_state();
+  st.take_network_event_num();
+  vm_.critical_event(EventKind::kSockClose, [&](GlobalCount) {
+    if (vm_.mode() == Mode::kRecord) {
+      if (conn_) conn_->close();
+    } else if (conn_) {
+      conn_->shutdown_write();  // replay: see header comment
+    }
+    return std::uint64_t{0};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Socket — read / available / write
+// ---------------------------------------------------------------------------
+
+std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
+  // SO_TIMEOUT wrapper around the raw read (record/passthrough paths).
+  auto timed_read = [&](std::uint8_t* buf, std::size_t n) -> std::size_t {
+    if (so_timeout_.count() <= 0) return conn_->read(buf, n);
+    auto got = conn_->read_for(buf, n,
+                               std::chrono::duration_cast<net::Duration>(
+                                   so_timeout_));
+    if (!got) {
+      throw net::NetError(NetErrorCode::kTimedOut,
+                          "read timed out after " +
+                              std::to_string(so_timeout_.count()) + "ms");
+    }
+    return *got;
+  };
+  if (!vm_.instrumented()) {
+    try {
+      return timed_read(out, max);
+    } catch (const net::NetError& e) {
+      rethrow_as_socket_exception(e, "read");
+    }
+  }
+  sched::ThreadState& st = vm_.current_state();
+  const EventNum en = st.take_network_event_num();
+
+  if (vm_.mode() == Mode::kRecord) {
+    std::lock_guard<std::mutex> fd(read_mutex_);  // Fig. 3 FD-critical section
+    try {
+      std::size_t n = timed_read(out, max);  // blocking, outside GC section
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockRead;
+      e.event_num = en;
+      e.value = n;
+      if (!peer_is_djvm_) e.data = Bytes(out, out + n);  // open-world content
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockRead, crc_aux({out, n}));
+      return n;
+    } catch (const net::NetError& err) {
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockRead;
+      e.event_num = en;
+      e.error = err.code();
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockRead,
+                     static_cast<std::uint64_t>(err.code()));
+      rethrow_as_socket_exception(err, "read");
+    }
+  }
+
+  // Replay.
+  const record::NetworkLogEntry* entry =
+      vm_.replay_log()->network.find(st.num, en);
+  if (entry == nullptr) {
+    throw ReplayDivergenceError("read event has no recorded entry");
+  }
+  if (entry->error != NetErrorCode::kNone) {
+    vm_.mark_event(EventKind::kSockRead,
+                   static_cast<std::uint64_t>(entry->error));
+    throw_recorded(entry->error, "read");
+  }
+  if (entry->data) {
+    // Open-world: serve recorded content, no network.
+    const Bytes& d = *entry->data;
+    if (d.size() > max) {
+      throw ReplayDivergenceError(
+          "recorded read content larger than the replayed buffer");
+    }
+    std::memcpy(out, d.data(), d.size());
+    vm_.mark_event(EventKind::kSockRead, crc_aux(d));
+    return d.size();
+  }
+  const std::size_t m = static_cast<std::size_t>(*entry->value);
+  if (m > max) {
+    throw ReplayDivergenceError(
+        "recorded read returned more bytes than the replayed request");
+  }
+  // Turn-first (DESIGN.md §5), then read *exactly* numRecorded bytes:
+  // "the thread reads only numRecorded bytes even if more bytes are
+  // available to read or will block until numRecorded bytes are available".
+  vm_.replay_turn_begin();
+  {
+    std::lock_guard<std::mutex> fd(read_mutex_);
+    std::size_t got = 0;
+    while (got < m) {
+      std::size_t r;
+      try {
+        r = conn_->read(out + got, m - got);
+      } catch (const net::NetError& err) {
+        throw ReplayDivergenceError(std::string("replay read failed: ") +
+                                    err.what());
+      }
+      if (r == 0) {
+        throw ReplayDivergenceError(
+            "EOF before the recorded byte count was read");
+      }
+      got += r;
+    }
+  }
+  vm_.replay_turn_end(EventKind::kSockRead, crc_aux({out, m}));
+  return m;
+}
+
+std::size_t Socket::do_available() {
+  if (!vm_.instrumented()) {
+    return conn_ ? conn_->available() : 0;
+  }
+  sched::ThreadState& st = vm_.current_state();
+  const EventNum en = st.take_network_event_num();
+
+  if (vm_.mode() == Mode::kRecord) {
+    std::size_t n = conn_->available();  // executed before the GC section
+    record::NetworkLogEntry e;
+    e.kind = EventKind::kSockAvailable;
+    e.event_num = en;
+    e.value = n;
+    vm_.network_log().append(st.num, std::move(e));
+    vm_.mark_event(EventKind::kSockAvailable, n);
+    return n;
+  }
+
+  const record::NetworkLogEntry* entry =
+      vm_.replay_log()->network.find(st.num, en);
+  if (entry == nullptr || !entry->value) {
+    throw ReplayDivergenceError("available event has no recorded entry");
+  }
+  const std::size_t m = static_cast<std::size_t>(*entry->value);
+  if (virtual_) {
+    vm_.mark_event(EventKind::kSockAvailable, m);
+    return m;
+  }
+  // "the available event can potentially block until it returns the
+  // recorded number of bytes".
+  vm_.replay_turn_begin();
+  if (m > 0 && !conn_->wait_available(m)) {
+    throw ReplayDivergenceError(
+        "stream ended before the recorded available() count");
+  }
+  vm_.replay_turn_end(EventKind::kSockAvailable, m);
+  return m;
+}
+
+void Socket::do_write(BytesView data) {
+  if (!vm_.instrumented()) {
+    try {
+      conn_->write(data);
+    } catch (const net::NetError& e) {
+      rethrow_as_socket_exception(e, "write");
+    }
+    return;
+  }
+  sched::ThreadState& st = vm_.current_state();
+  const EventNum en = st.take_network_event_num();
+
+  if (vm_.mode() == Mode::kRecord) {
+    std::lock_guard<std::mutex> fd(write_mutex_);
+    try {
+      // write is non-blocking: executed inside the GC-critical section,
+      // "similar to how we handle critical events corresponding to shared
+      // variable updates".
+      vm_.critical_event(EventKind::kSockWrite, [&](GlobalCount) {
+        conn_->write(data);
+        return crc_aux(data);
+      });
+    } catch (const net::NetError& err) {
+      // The event already ticked (a throwing event still happened); log the
+      // exception for replay.
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockWrite;
+      e.event_num = en;
+      e.error = err.code();
+      vm_.network_log().append(st.num, std::move(e));
+      rethrow_as_socket_exception(err, "write");
+    }
+    return;
+  }
+
+  // Replay.
+  const record::NetworkLogEntry* entry =
+      vm_.replay_log()->network.find(st.num, en);
+  if (entry != nullptr && entry->error != NetErrorCode::kNone) {
+    vm_.mark_event(EventKind::kSockWrite,
+                   static_cast<std::uint64_t>(entry->error));
+    throw_recorded(entry->error, "write");
+  }
+  std::lock_guard<std::mutex> fd(write_mutex_);
+  vm_.critical_event(EventKind::kSockWrite, [&](GlobalCount) {
+    if (conn_ != nullptr && !virtual_) {
+      try {
+        conn_->write(data);
+      } catch (const net::NetError& err) {
+        throw ReplayDivergenceError(
+            std::string("recorded-successful write failed during replay: ") +
+            err.what());
+      }
+    }
+    // Virtual socket: "any message sent to a non-DJVM thread during the
+    // record phase need not be sent again during the replay phase."
+    return crc_aux(data);
+  });
+}
+
+std::size_t InputStream::read(std::uint8_t* out, std::size_t max) {
+  return s_.do_read(out, max);
+}
+
+Bytes InputStream::read(std::size_t max) {
+  Bytes buf(max);
+  std::size_t n = s_.do_read(buf.data(), max);
+  buf.resize(n);
+  return buf;
+}
+
+std::size_t InputStream::available() { return s_.do_available(); }
+
+void OutputStream::write(BytesView data) { s_.do_write(data); }
+
+// ---------------------------------------------------------------------------
+// ServerSocket
+// ---------------------------------------------------------------------------
+
+ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
+  if (!vm_.instrumented()) {
+    try {
+      listener_ = vm_.network().listen({vm_.host(), port});
+    } catch (const net::NetError& e) {
+      rethrow_as_socket_exception(e, "listen on port " + std::to_string(port));
+    }
+    port_ = listener_->address().port;
+    return;
+  }
+  sched::ThreadState& st = vm_.current_state();
+
+  st.take_network_event_num();
+  vm_.mark_event(EventKind::kSockCreate, 0);
+
+  const EventNum en = st.take_network_event_num();
+  if (vm_.mode() == Mode::kRecord) {
+    try {
+      listener_ = vm_.network().listen({vm_.host(), port});
+      port_ = listener_->address().port;
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockBind;
+      e.event_num = en;
+      e.value = port_;  // "the DJVM records its return value" (the port)
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockBind, port_);
+    } catch (const net::NetError& err) {
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockBind;
+      e.event_num = en;
+      e.error = err.code();
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockBind,
+                     static_cast<std::uint64_t>(err.code()));
+      rethrow_as_socket_exception(err, "bind port " + std::to_string(port));
+    }
+  } else {
+    const record::NetworkLogEntry* entry =
+        vm_.replay_log()->network.find(st.num, en);
+    if (entry == nullptr) {
+      throw ReplayDivergenceError("bind event has no recorded entry");
+    }
+    if (entry->error != NetErrorCode::kNone) {
+      vm_.mark_event(EventKind::kSockBind,
+                     static_cast<std::uint64_t>(entry->error));
+      throw_recorded(entry->error, "bind port " + std::to_string(port));
+    }
+    // "we execute the bind event, passing the recorded local port as
+    // argument" — deterministic re-binding.
+    port_ = static_cast<net::Port>(*entry->value);
+    try {
+      listener_ = vm_.network().listen({vm_.host(), port_});
+    } catch (const net::NetError& err) {
+      throw ReplayDivergenceError(
+          std::string("recorded bind failed during replay: ") + err.what());
+    }
+    vm_.mark_event(EventKind::kSockBind, port_);
+  }
+
+  st.take_network_event_num();
+  vm_.mark_event(EventKind::kSockListen, 0);
+}
+
+ServerSocket::~ServerSocket() {
+  if (listener_ == nullptr) return;
+  net::SocketAddress addr = listener_->address();
+  listener_->close();
+  vm_.network().unlisten(addr);
+}
+
+void ServerSocket::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (!vm_.instrumented()) {
+    net::SocketAddress addr = listener_->address();
+    listener_->close();
+    vm_.network().unlisten(addr);
+    return;
+  }
+  sched::ThreadState& st = vm_.current_state();
+  st.take_network_event_num();
+  vm_.critical_event(EventKind::kSockClose, [&](GlobalCount) {
+    if (vm_.mode() == Mode::kRecord) {
+      net::SocketAddress addr = listener_->address();
+      listener_->close();
+      vm_.network().unlisten(addr);
+    }
+    // Replay: the listener stays registered until destruction so eager
+    // re-executed connects cannot be refused by this close racing ahead.
+    return std::uint64_t{0};
+  });
+}
+
+std::unique_ptr<Socket> ServerSocket::accept() {
+  // SO_TIMEOUT wrapper around the raw accept (record/passthrough paths).
+  auto timed_accept = [&]() -> std::shared_ptr<net::TcpConnection> {
+    if (so_timeout_.count() <= 0) return listener_->accept();
+    auto conn = listener_->accept_for(
+        std::chrono::duration_cast<net::Duration>(so_timeout_));
+    if (conn == nullptr) {
+      throw net::NetError(NetErrorCode::kTimedOut,
+                          "accept timed out after " +
+                              std::to_string(so_timeout_.count()) + "ms");
+    }
+    return conn;
+  };
+  if (!vm_.instrumented()) {
+    try {
+      auto conn = timed_accept();
+      return std::unique_ptr<Socket>(new Socket(vm_, std::move(conn), false));
+    } catch (const net::NetError& e) {
+      rethrow_as_socket_exception(e, "accept");
+    }
+  }
+  sched::ThreadState& st = vm_.current_state();
+  const EventNum en = st.take_network_event_num();
+
+  if (vm_.mode() == Mode::kRecord) {
+    try {
+      std::shared_ptr<net::TcpConnection> conn;
+      bool peer_djvm = false;
+      ConnectionId client_id{};
+      {
+        // accept is a synchronized call: net-level accept + meta read are
+        // serialized per listener.
+        std::lock_guard<std::mutex> fd(fd_mutex_);
+        conn = timed_accept();  // blocking, outside the GC section
+        peer_djvm = vm_.is_djvm_host(conn->remote_address().host);
+        record::NetworkLogEntry e;
+        e.kind = EventKind::kSockAccept;
+        e.event_num = en;
+        if (peer_djvm) {
+          std::uint8_t meta[kMetaSize];
+          conn->read_fully(meta, kMetaSize);
+          client_id = decode_meta({meta, kMetaSize});
+          e.conn_id = client_id;  // the ServerSocketEntry <serverId,clientId>
+        } else {
+          e.value = encode_addr(conn->remote_address());  // open-world peer
+        }
+        vm_.network_log().append(st.num, std::move(e));
+      }
+      vm_.mark_event(EventKind::kSockAccept,
+                     peer_djvm ? conn_id_aux(client_id) : 0);
+      return std::unique_ptr<Socket>(
+          new Socket(vm_, std::move(conn), peer_djvm));
+    } catch (const net::NetError& err) {
+      record::NetworkLogEntry e;
+      e.kind = EventKind::kSockAccept;
+      e.event_num = en;
+      e.error = err.code();
+      vm_.network_log().append(st.num, std::move(e));
+      vm_.mark_event(EventKind::kSockAccept,
+                     static_cast<std::uint64_t>(err.code()));
+      rethrow_as_socket_exception(err, "accept");
+    }
+  }
+
+  // Replay.
+  const record::NetworkLogEntry* entry =
+      vm_.replay_log()->network.find(st.num, en);
+  if (entry == nullptr) {
+    throw ReplayDivergenceError("accept event has no recorded entry");
+  }
+  if (entry->error != NetErrorCode::kNone) {
+    vm_.mark_event(EventKind::kSockAccept,
+                   static_cast<std::uint64_t>(entry->error));
+    throw_recorded(entry->error, "accept");
+  }
+  if (!entry->conn_id) {
+    // Open-world peer: virtual socket fed from recorded content.
+    net::SocketAddress remote = decode_addr(*entry->value);
+    vm_.mark_event(EventKind::kSockAccept, 0);
+    return std::unique_ptr<Socket>(new Socket(vm_, remote, true));
+  }
+  const ConnectionId want = *entry->conn_id;
+  auto conn = pool_.await(want, [&]() {
+    auto c = listener_->accept();
+    if (!vm_.is_djvm_host(c->remote_address().host)) {
+      throw ReplayDivergenceError(
+          "connection from a non-DJVM host arrived during closed-scheme "
+          "replay");
+    }
+    std::uint8_t meta[kMetaSize];
+    c->read_fully(meta, kMetaSize);
+    return std::make_pair(decode_meta({meta, kMetaSize}), std::move(c));
+  });
+  vm_.mark_event(EventKind::kSockAccept, conn_id_aux(want));
+  return std::unique_ptr<Socket>(new Socket(vm_, std::move(conn), true));
+}
+
+}  // namespace djvu::vm

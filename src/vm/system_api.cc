@@ -1,0 +1,67 @@
+#include "vm/system_api.h"
+
+#include <chrono>
+
+#include "record/log_entries.h"
+
+namespace djvu::vm {
+namespace {
+
+using sched::EventKind;
+
+std::uint64_t real_millis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t real_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shared machinery: record the queried value, replay it back.
+std::uint64_t recorded_query(Vm& vm, std::uint64_t (*query)()) {
+  if (!vm.instrumented()) return query();
+  sched::ThreadState& st = vm.current_state();
+  const EventNum en = st.take_network_event_num();
+
+  if (vm.mode() == Mode::kRecord) {
+    std::uint64_t value = 0;
+    vm.critical_event(EventKind::kTimeRead, [&](GlobalCount) {
+      value = query();
+      return value;
+    });
+    record::NetworkLogEntry e;
+    e.kind = EventKind::kTimeRead;
+    e.event_num = en;
+    e.value = value;
+    vm.network_log().append(st.num, std::move(e));
+    return value;
+  }
+
+  // Replay: the recorded value, never the real clock.
+  const record::NetworkLogEntry* entry =
+      vm.replay_log()->network.find(st.num, en);
+  if (entry == nullptr || !entry->value) {
+    throw ReplayDivergenceError("time query has no recorded entry");
+  }
+  std::uint64_t value = *entry->value;
+  vm.mark_event(EventKind::kTimeRead, value);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t current_time_millis(Vm& vm) {
+  return recorded_query(vm, &real_millis);
+}
+
+std::uint64_t nano_time(Vm& vm) {
+  return recorded_query(vm, &real_nanos);
+}
+
+}  // namespace djvu::vm

@@ -1,0 +1,30 @@
+// Recorded environment queries (the System.currentTimeMillis problem).
+//
+// Wall-clock reads are a nondeterminism source just like network delays: a
+// branch on the current time can take different arms in different runs.  A
+// record/replay VM therefore records every time query and serves the
+// recorded value back during replay.  The paper's DJVM instruments only
+// scheduling and network events; this is the natural companion every
+// production replay tool (rr, DejaVu's successors) grew.
+//
+// The value is logged through the same per-thread outcome log as network
+// events (it is an "environment event": same addressing, same exception
+// machinery), and the query is an ordinary critical event, so its position
+// in the schedule is enforced too.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/vm.h"
+
+namespace djvu::vm {
+
+/// Milliseconds since the Unix epoch — recorded during record, reproduced
+/// during replay (java.lang.System.currentTimeMillis analogue).
+std::uint64_t current_time_millis(Vm& vm);
+
+/// Nanosecond monotonic counter — same treatment
+/// (java.lang.System.nanoTime analogue).
+std::uint64_t nano_time(Vm& vm);
+
+}  // namespace djvu::vm

@@ -1,0 +1,45 @@
+#include "vm/thread.h"
+
+namespace djvu::vm {
+
+VmThread::VmThread(Vm& vm, std::function<void()> fn)
+    : error_(std::make_shared<std::exception_ptr>()) {
+  // The spawn is a critical event of the *parent*; registration happens
+  // inside the event body so creation order is part of the schedule.
+  sched::ThreadState* child_state = nullptr;
+  vm.critical_event(sched::EventKind::kThreadStart, [&](GlobalCount) {
+    child_state = &vm.register_child_thread();
+    return std::uint64_t{child_state->num};
+  });
+  num_ = child_state->num;
+
+  auto error = error_;
+  Vm* vm_ptr = &vm;
+  thread_ = std::thread([vm_ptr, child_state, error, fn = std::move(fn)] {
+    Vm::bind_current(vm_ptr, child_state);
+    try {
+      fn();
+    } catch (...) {
+      *error = std::current_exception();
+      // Unblock sibling threads (turn waits, socket calls) so the whole VM
+      // unwinds and this error surfaces through join().
+      vm_ptr->poison();
+    }
+    Vm::bind_current(nullptr, nullptr);
+  });
+}
+
+VmThread::~VmThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void VmThread::join() {
+  if (thread_.joinable()) thread_.join();
+  if (error_ && *error_) {
+    std::exception_ptr e = *error_;
+    *error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace djvu::vm

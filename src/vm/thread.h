@@ -1,0 +1,50 @@
+// Application threads (the analogue of java.lang.Thread).
+//
+// Spawning is a kThreadStart critical event of the parent, which puts thread
+// creation — and therefore threadNum assignment — into the enforced
+// schedule: "Since threads are created in the same order in the record and
+// replay phases, our implementation guarantees that a thread has the same
+// threadNum value in both the record and replay phases." (§4.1.3)
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "vm/vm.h"
+
+namespace djvu::vm {
+
+/// A joinable application thread bound to one Vm.
+class VmThread {
+ public:
+  VmThread() = default;
+
+  /// Spawns a thread running `fn` on `vm`.  Must be called from a thread
+  /// already bound to `vm` (main or another VmThread).
+  VmThread(Vm& vm, std::function<void()> fn);
+
+  VmThread(VmThread&&) = default;
+  VmThread& operator=(VmThread&&) = default;
+
+  /// Joining an unjoined thread at destruction keeps shutdown deterministic.
+  ~VmThread();
+
+  /// Waits for completion; re-throws any exception the thread body raised
+  /// (so ReplayDivergenceError etc. surface in tests).
+  void join();
+
+  /// The thread's creation-order number.
+  ThreadNum thread_num() const { return num_; }
+
+  /// True when the thread can still be joined.
+  bool joinable() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+  ThreadNum num_ = 0;
+  std::shared_ptr<std::exception_ptr> error_;
+};
+
+}  // namespace djvu::vm

@@ -1,0 +1,274 @@
+#include "vm/vm.h"
+
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace djvu::vm {
+namespace {
+
+/// One OS thread is bound to at most one Vm at a time.
+struct ThreadBinding {
+  Vm* vm = nullptr;
+  sched::ThreadState* state = nullptr;
+};
+
+thread_local ThreadBinding t_binding;
+
+}  // namespace
+
+Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
+       std::shared_ptr<const record::VmLog> replay_log)
+    : network_(std::move(network)),
+      config_(std::move(config)),
+      replay_log_(std::move(replay_log)) {
+  if ((config_.mode == Mode::kReplay) != (replay_log_ != nullptr)) {
+    throw UsageError("replay log must be supplied exactly in replay mode");
+  }
+  if (config_.mode == Mode::kReplay &&
+      replay_log_->vm_id != config_.vm_id) {
+    throw UsageError("replay log belongs to vm " +
+                     std::to_string(replay_log_->vm_id) + ", not vm " +
+                     std::to_string(config_.vm_id));
+  }
+}
+
+Vm::~Vm() = default;
+
+void Vm::maybe_chaos() {
+  if (config_.chaos_prob <= 0.0) return;
+  bool yield_now = false;
+  bool sleep_now = false;
+  {
+    std::lock_guard<std::mutex> lock(chaos_mutex_);
+    if (!chaos_rng_) chaos_rng_ = std::make_unique<Xoshiro256>(config_.chaos_seed);
+    if (chaos_rng_->chance(config_.chaos_prob)) {
+      yield_now = true;
+      sleep_now = chaos_rng_->chance(0.25);
+    }
+  }
+  if (sleep_now) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  } else if (yield_now) {
+    std::this_thread::yield();
+  }
+}
+
+void Vm::attach_main() {
+  if (t_binding.vm != nullptr) {
+    throw UsageError("thread is already bound to a Vm");
+  }
+  if (registry_.size() != 0) {
+    throw UsageError("attach_main after threads were already registered");
+  }
+  sched::ThreadState& state = registry_.register_thread();
+  if (config_.mode == Mode::kReplay) {
+    const auto& per_thread = replay_log_->schedule.per_thread;
+    if (!per_thread.empty()) {
+      state.cursor = sched::IntervalCursor(per_thread[0]);
+    }
+  }
+  t_binding = {this, &state};
+}
+
+void Vm::detach_current() {
+  if (t_binding.vm != this) {
+    throw UsageError("detach_current: thread not bound to this Vm");
+  }
+  t_binding = {};
+}
+
+sched::ThreadState& Vm::current_state() {
+  if (t_binding.vm != this || t_binding.state == nullptr) {
+    throw UsageError(
+        "calling thread is not bound to this Vm (did you forget "
+        "attach_main / VmThread?)");
+  }
+  return *t_binding.state;
+}
+
+sched::ThreadState& Vm::register_child_thread() {
+  sched::ThreadState& state = registry_.register_thread();
+  if (config_.mode == Mode::kReplay) {
+    const auto& per_thread = replay_log_->schedule.per_thread;
+    if (state.num < per_thread.size()) {
+      state.cursor = sched::IntervalCursor(per_thread[state.num]);
+    }
+  }
+  return state;
+}
+
+void Vm::bind_current(Vm* vm, sched::ThreadState* state) {
+  t_binding = {vm, state};
+}
+
+void Vm::poison() {
+  counter_.poison();
+  network_->shutdown();
+}
+
+void Vm::resume_replay(GlobalCount checkpoint_gc,
+                       std::uint32_t threads_created,
+                       EventNum main_event_num) {
+  if (config_.mode != Mode::kReplay) {
+    throw UsageError("resume_replay outside replay mode");
+  }
+  if (counter_.value() != 0 || registry_.size() != 1) {
+    throw UsageError("resume_replay after events already executed");
+  }
+  sched::ThreadState& main = current_state();
+  main.cursor.skip_through(checkpoint_gc);
+  main.next_network_event = main_event_num;
+  for (std::uint32_t t = 1; t < threads_created; ++t) {
+    sched::ThreadState& st = register_child_thread();
+    st.cursor.skip_through(checkpoint_gc);
+    if (!st.cursor.exhausted()) {
+      throw UsageError(
+          "checkpoint was not quiescent: thread " + std::to_string(st.num) +
+          " has recorded events after the checkpoint");
+    }
+  }
+  counter_.advance_to(checkpoint_gc + 1);
+}
+
+record::VmLog Vm::finish_record() {
+  if (config_.mode != Mode::kRecord) {
+    throw UsageError("finish_record on a Vm not in record mode");
+  }
+  record::VmLog log;
+  log.vm_id = config_.vm_id;
+  log.schedule.per_thread = registry_.collect_intervals();
+  log.network = std::move(network_log_);
+  log.stats.critical_events = counter_.value();
+  log.stats.network_events = nw_events_.load(std::memory_order_relaxed);
+  return log;
+}
+
+void Vm::finish_replay() {
+  if (config_.mode != Mode::kReplay) {
+    throw UsageError("finish_replay on a Vm not in replay mode");
+  }
+  const auto& per_thread = replay_log_->schedule.per_thread;
+  std::size_t recorded_threads = 0;
+  for (const auto& list : per_thread) {
+    if (!list.empty()) ++recorded_threads;
+  }
+  for (ThreadNum t = 0; t < per_thread.size(); ++t) {
+    sched::ThreadState* state = registry_.find(t);
+    if (state == nullptr) {
+      if (!per_thread[t].empty()) {
+        throw ReplayDivergenceError("recorded thread " + std::to_string(t) +
+                                    " was never created during replay");
+      }
+      continue;
+    }
+    if (!state->cursor.exhausted()) {
+      throw ReplayDivergenceError(
+          "thread " + std::to_string(t) + " finished with " +
+          std::to_string(state->cursor.remaining()) +
+          " recorded critical events not replayed");
+    }
+  }
+  (void)recorded_threads;
+  if (counter_.value() != replay_log_->stats.critical_events) {
+    throw ReplayDivergenceError(
+        "replay executed " + std::to_string(counter_.value()) +
+        " critical events, recorded " +
+        std::to_string(replay_log_->stats.critical_events));
+  }
+}
+
+void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
+                     std::uint64_t aux, GlobalCount gc) {
+  if (sched::is_network_event(kind)) {
+    nw_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.keep_trace) {
+    trace_.append({gc, state.num, kind, aux});
+  }
+  if (observer_) {
+    observer_(sched::TraceRecord{gc, state.num, kind, aux});
+  }
+}
+
+GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
+                               std::uint64_t fixed_aux) {
+  std::uint64_t aux = fixed_aux;
+  switch (config_.mode) {
+    case Mode::kPassthrough:
+      if (body) body(0);
+      return 0;
+    case Mode::kRecord: {
+      sched::ThreadState& state = current_state();
+      // Chaos fuzzing happens before the section: it perturbs which thread
+      // wins the next counter value, never what the event does.
+      maybe_chaos();
+      // An event whose body throws (e.g. a write hitting connection-reset)
+      // still happened: it must tick and be recorded so replay can re-throw
+      // at the same schedule position.
+      std::exception_ptr raised;
+      GlobalCount gc = counter_.with_section([&](GlobalCount g) {
+        try {
+          if (body) aux = body(g);
+        } catch (const net::NetError& e) {
+          // Trace the error code so a replayed re-throw (whose mark uses
+          // the recorded code as aux) compares equal.
+          aux = static_cast<std::uint64_t>(e.code());
+          raised = std::current_exception();
+        } catch (...) {
+          raised = std::current_exception();
+        }
+        state.recorder.on_event(g);
+      });
+      after_event(state, kind, aux, gc);
+      if (raised) std::rethrow_exception(raised);
+      return gc;
+    }
+    case Mode::kReplay: {
+      sched::ThreadState& state = current_state();
+      GlobalCount g = state.cursor.peek();
+      counter_.await(g, config_.stall_timeout);
+      std::exception_ptr raised;
+      try {
+        if (body) aux = body(g);
+      } catch (const net::NetError& e) {
+        aux = static_cast<std::uint64_t>(e.code());
+        raised = std::current_exception();
+      } catch (...) {
+        raised = std::current_exception();
+      }
+      counter_.tick();
+      state.cursor.advance();
+      after_event(state, kind, aux, g);
+      if (raised) std::rethrow_exception(raised);
+      return g;
+    }
+  }
+  throw UsageError("unreachable");
+}
+
+GlobalCount Vm::mark_event(sched::EventKind kind, std::uint64_t aux) {
+  return critical_event(kind, nullptr, aux);
+}
+
+GlobalCount Vm::replay_turn_begin() {
+  if (config_.mode != Mode::kReplay) {
+    throw UsageError("replay_turn_begin outside replay mode");
+  }
+  sched::ThreadState& state = current_state();
+  GlobalCount g = state.cursor.peek();
+  counter_.await(g, config_.stall_timeout);
+  return g;
+}
+
+void Vm::replay_turn_end(sched::EventKind kind, std::uint64_t aux) {
+  sched::ThreadState& state = current_state();
+  GlobalCount g = state.cursor.peek();
+  counter_.tick();
+  state.cursor.advance();
+  after_event(state, kind, aux, g);
+}
+
+}  // namespace djvu::vm

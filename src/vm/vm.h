@@ -1,0 +1,243 @@
+// The DJVM: a virtual-machine runtime with record/replay interposition.
+//
+// One Vm hosts an application component (threads + shared state + sockets),
+// the way one JVM hosts one component of the paper's distributed
+// application.  A Vm runs in one of three modes:
+//
+//   kPassthrough — a plain JVM: no counter, no logs, no meta protocols.
+//                  Used for the non-DJVM components of open/mixed worlds and
+//                  as the baseline for overhead measurements.
+//   kRecord      — DJVM record phase: every critical event ticks the global
+//                  counter; logical intervals and network outcomes are
+//                  logged (§2.2, §4).
+//   kReplay      — DJVM replay phase: every critical event executes at its
+//                  recorded global-counter value (§2.2).
+//
+// The "event gateway" methods at the bottom are the interposition points the
+// rest of the vm library (SharedVar, Monitor, sockets) funnels through; they
+// correspond to the paper's GC-critical section discipline:
+//   * critical_event()  — non-blocking events: counter update + execution in
+//     one atomic action (record), or turn-wait + execute + tick (replay);
+//   * blocking events run their operation *outside* the section and then
+//     mark_event() afterwards (record);
+//   * in replay, read-like events use turn_begin()/turn_end() to execute at
+//     exactly their recorded position (see DESIGN.md §5 on why this is the
+//     safe rendering of Fig. 3), while connect/accept execute eagerly and
+//     only their completion is turn-gated, as §4.1.3 specifies.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "record/vm_log.h"
+#include "sched/global_counter.h"
+#include "sched/thread_registry.h"
+#include "sched/trace.h"
+
+namespace djvu::vm {
+
+/// Execution mode of a Vm.
+enum class Mode {
+  kPassthrough,
+  kRecord,
+  kReplay,
+};
+
+/// Static configuration of one Vm.
+struct VmConfig {
+  /// DJVM identity: assigned before record, logged, and reused in replay.
+  DjvmId vm_id = 0;
+
+  /// Simulated machine this Vm runs on.
+  net::HostId host = 0;
+
+  Mode mode = Mode::kPassthrough;
+
+  /// World knowledge (§5): the set of hosts that run DJVMs, known before
+  /// the application executes.  Peers on these hosts get the closed-world
+  /// scheme; all other peers get the open-world content-logging scheme.
+  std::set<net::HostId> djvm_hosts;
+
+  /// Keep an execution trace for verification.  Off for overhead
+  /// measurements (tracing is not part of the paper's record cost).
+  bool keep_trace = true;
+
+  /// Replay stall detector: a turn-wait that sees no counter progress for
+  /// this long aborts with ReplayDivergenceError (a mismatched log can
+  /// otherwise deadlock the whole VM).  Tests shrink it.
+  std::chrono::milliseconds stall_timeout{10000};
+
+  /// Schedule fuzzing ("chaos mode", cf. rr): during record, each critical
+  /// event yields the CPU with probability `chaos_prob` (and occasionally
+  /// sleeps a few microseconds), forcing interleavings a quiet single-core
+  /// scheduler would rarely produce.  Replay ignores chaos entirely — the
+  /// recorded schedule already pins the interleaving — so a chaotic
+  /// recording replays exactly like any other.  0 disables.
+  double chaos_prob = 0.0;
+
+  /// Seed for the chaos generator (per-VM stream).
+  std::uint64_t chaos_seed = 1;
+};
+
+/// One virtual machine.
+class Vm {
+ public:
+  /// `replay_log` must be non-null iff mode == kReplay.
+  Vm(std::shared_ptr<net::Network> network, VmConfig config,
+     std::shared_ptr<const record::VmLog> replay_log = nullptr);
+  ~Vm();
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // --- identity & environment ---------------------------------------------
+
+  DjvmId vm_id() const { return config_.vm_id; }
+  net::HostId host() const { return config_.host; }
+  Mode mode() const { return config_.mode; }
+  net::Network& network() { return *network_; }
+
+  /// True when `host` runs a DJVM (closed-world scheme applies to it).
+  bool is_djvm_host(net::HostId host) const {
+    return config_.djvm_hosts.contains(host);
+  }
+
+  /// True when this Vm performs interposition (record or replay).
+  bool instrumented() const { return config_.mode != Mode::kPassthrough; }
+
+  // --- thread management ----------------------------------------------------
+
+  /// Binds the calling OS thread as this Vm's main thread (threadNum 0).
+  /// Must be called exactly once, before any other thread is spawned.
+  void attach_main();
+
+  /// Unbinds the calling OS thread (end of main).
+  void detach_current();
+
+  /// The calling thread's state; throws UsageError when the thread is not
+  /// bound to this Vm.
+  sched::ThreadState& current_state();
+
+  // --- finishing a phase ------------------------------------------------------
+
+  /// Record mode: closes all interval recorders and assembles the VmLog.
+  /// Call after every application thread has finished.
+  record::VmLog finish_record();
+
+  /// Replay mode: verifies that every thread consumed its entire recorded
+  /// schedule; throws ReplayDivergenceError otherwise.
+  void finish_replay();
+
+  // --- introspection -----------------------------------------------------------
+
+  /// Execution trace (empty when keep_trace is false).
+  const sched::ExecutionTrace& trace() const { return trace_; }
+
+  /// Critical events executed so far (the global counter).
+  GlobalCount critical_events() const { return counter_.value(); }
+
+  /// Network critical events executed so far ("#nw events").
+  std::uint64_t network_events() const {
+    return nw_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Threads created so far (including main).
+  std::size_t thread_count() const { return registry_.size(); }
+
+  /// Replay-side log access (nullptr outside replay).
+  const record::VmLog* replay_log() const { return replay_log_.get(); }
+
+  /// Record-side network log (append target).
+  record::NetworkLog& network_log() { return network_log_; }
+
+  /// Observer invoked after every critical event (any mode), with the
+  /// event's trace record.  The hook behind the replay debugger
+  /// (examples/replay_debugger): breakpoints, event printing, state
+  /// inspection at exact schedule positions.  Set before threads start;
+  /// the callback runs on application threads and must be thread-safe.
+  using EventObserver = std::function<void(const sched::TraceRecord&)>;
+  void set_event_observer(EventObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // --- event gateway (used by SharedVar / Monitor / sockets) -----------------
+
+  /// Body of a critical event; receives the event's global counter value
+  /// and returns the trace aux (a hash of whatever the event observed).
+  using EventBody = std::function<std::uint64_t(GlobalCount)>;
+
+  /// Non-blocking critical event: counter update + body as a single atomic
+  /// action (record) / executed at its recorded turn (replay) / plain call
+  /// (passthrough).  Returns the event's global counter value (0 in
+  /// passthrough).  When `body` is null the event is a pure mark and
+  /// `fixed_aux` is traced.
+  GlobalCount critical_event(sched::EventKind kind,
+                             const EventBody& body = nullptr,
+                             std::uint64_t fixed_aux = 0);
+
+  /// Marks an already-executed blocking event (the paper's marking
+  /// strategy): equivalent to critical_event with an empty body.
+  GlobalCount mark_event(sched::EventKind kind, std::uint64_t aux);
+
+  /// Replay only: blocks until the calling thread's next critical event's
+  /// turn and returns its global counter value (without ticking).
+  GlobalCount replay_turn_begin();
+
+  /// Replay only: completes the event started by replay_turn_begin —
+  /// ticks the counter, advances the thread's cursor, traces.
+  void replay_turn_end(sched::EventKind kind, std::uint64_t aux);
+
+  /// Spawns an application thread.  The spawn is a kThreadStart critical
+  /// event of the *parent*, which makes threadNum assignment part of the
+  /// enforced schedule ("threads are created in the same order in the
+  /// record and replay phases").  Internal: used by VmThread.
+  sched::ThreadState& register_child_thread();
+
+  /// Abandons the run: poisons the global counter (sibling threads blocked
+  /// on their turns unwind with ReplayDivergenceError) and shuts the
+  /// network down (threads blocked in socket calls unwind with socket
+  /// errors).  Called automatically when any VmThread body throws.
+  void poison();
+
+  /// Replay-from-checkpoint (src/checkpoint): fast-forwards the global
+  /// counter past `checkpoint_gc`, pre-registers the `threads_created - 1`
+  /// worker threads that completed before the checkpoint (their cursors
+  /// must be exhausted by it — quiescence), and restores the main thread's
+  /// cursor position and network event number.  Replay mode only; must run
+  /// before any event executes, from the main thread.
+  void resume_replay(GlobalCount checkpoint_gc, std::uint32_t threads_created,
+                     EventNum main_event_num);
+
+ private:
+  friend class VmThread;
+
+  /// Binds/unbinds the calling OS thread (VmThread internals).
+  static void bind_current(Vm* vm, sched::ThreadState* state);
+
+  /// Record-mode chaos: maybe yield/sleep before an event (see
+  /// VmConfig::chaos_prob).
+  void maybe_chaos();
+
+  void after_event(sched::ThreadState& state, sched::EventKind kind,
+                   std::uint64_t aux, GlobalCount gc);
+
+  std::shared_ptr<net::Network> network_;
+  VmConfig config_;
+  std::shared_ptr<const record::VmLog> replay_log_;
+
+  sched::GlobalCounter counter_;
+  std::mutex chaos_mutex_;
+  std::unique_ptr<Xoshiro256> chaos_rng_;
+  sched::ThreadRegistry registry_;
+  sched::ExecutionTrace trace_;
+  record::NetworkLog network_log_;
+  std::atomic<std::uint64_t> nw_events_{0};
+  EventObserver observer_;
+};
+
+}  // namespace djvu::vm

@@ -1,0 +1,189 @@
+// Unit tests for src/common: byte codec, CRC, RNG, blocking queue, ids.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/errors.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace djvu {
+namespace {
+
+TEST(Bytes, RoundTripPrimitives) {
+  ByteWriter w;
+  w.u8(0xab).u16(0x1234).u32(0xdeadbeef).u64(0x0123456789abcdefULL);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(0xffffffffffffffffULL);
+  w.str("hello");
+  w.bytes(Bytes{0, 1, 2});
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), 0xffffffffffffffffULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes().size(), 3u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(42);
+  Bytes data = w.take();
+  data.pop_back();
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), LogFormatError);
+}
+
+TEST(Bytes, VarintBoundaries) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 0x7full, 0x80ull, 0x3fffull, 0x4000ull,
+        0x1fffffull, (1ull << 32), ~0ull}) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Bytes, MalformedVarintThrows) {
+  Bytes data(11, 0x80);  // continuation bit forever
+  ByteReader r(data);
+  EXPECT_THROW(r.varint(), LogFormatError);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xcbf43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(BytesView(data).first(10));
+  inc.update(BytesView(data).subspan(10));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  Bytes data = to_bytes("some log content");
+  std::uint32_t before = crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(before, crc32(data));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, ChanceBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.push(99);
+  });
+  EXPECT_EQ(*q.pop(), 99);
+  producer.join();
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+  q.push(2);  // dropped
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(5)).has_value());
+}
+
+TEST(Ids, Ordering) {
+  NetworkEventId a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (NetworkEventId{1, 5}));
+
+  ConnectionId x{1, 2, 3}, y{1, 2, 4};
+  EXPECT_LT(x, y);
+
+  DgNetworkEventId d{3, 100}, e{3, 101};
+  EXPECT_LT(d, e);
+}
+
+TEST(Ids, Formatting) {
+  EXPECT_EQ(to_string(NetworkEventId{3, 7}), "<t3,e7>");
+  EXPECT_EQ(to_string(ConnectionId{1, 2, 3}), "<vm1,t2,e3>");
+  EXPECT_EQ(to_string(DgNetworkEventId{4, 99}), "<vm4,gc99>");
+}
+
+TEST(StrUtil, HexDump) {
+  Bytes data = to_bytes("AB");
+  EXPECT_EQ(hex_dump(data), "41 42 |AB|");
+}
+
+TEST(StrUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.0 KiB");
+}
+
+TEST(StrUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace djvu

@@ -1,0 +1,194 @@
+// Failure injection: tampered logs, mismatched applications and corrupt
+// bundles must surface as ReplayDivergenceError / LogFormatError — never as
+// silent misreplay (invariants I2, I7).
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "record/serializer.h"
+#include "tests/test_util.h"
+#include "vm/shared_var.h"
+#include "vm/socket_api.h"
+#include "vm/thread.h"
+
+namespace djvu {
+namespace {
+
+using core::Session;
+
+Session counter_app(std::uint64_t* out) {
+  core::SessionConfig cfg;
+  cfg.stall_timeout = std::chrono::milliseconds(400);  // fast deadlock tests
+  Session s(cfg);
+  s.add_vm("app", 1, true, [out](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (out != nullptr) *out = x.unsafe_peek();
+  });
+  return s;
+}
+
+std::vector<record::VmLog> logs_of(const core::RunResult& rec) {
+  std::vector<record::VmLog> logs;
+  for (const auto& info : rec.vms) {
+    if (info.log) {
+      logs.push_back(record::deserialize(record::serialize(*info.log)));
+    }
+  }
+  return logs;
+}
+
+TEST(Divergence, TruncatedScheduleDetected) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(1);
+  auto logs = logs_of(rec);
+  // Drop the last interval of thread 1: that thread now has fewer recorded
+  // events than it will attempt.
+  ASSERT_FALSE(logs[0].schedule.per_thread[1].empty());
+  logs[0].schedule.per_thread[1].pop_back();
+  EXPECT_THROW(s.replay_logs(logs, 2), ReplayDivergenceError);
+}
+
+TEST(Divergence, ShiftedIntervalDetected) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(3);
+  auto logs = logs_of(rec);
+  // Shift one interval: two threads now claim the same counter values.
+  auto& list = logs[0].schedule.per_thread[2];
+  ASSERT_FALSE(list.empty());
+  list[0].first += 1;
+  list[0].last += 1;
+  EXPECT_THROW(s.replay_logs(logs, 4), ReplayDivergenceError);
+}
+
+TEST(Divergence, WrongAppMoreThreadsDetected) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(5);
+  auto logs = logs_of(rec);
+  // Replay a DIFFERENT application (4 threads instead of 3).
+  core::SessionConfig ocfg;
+  ocfg.stall_timeout = std::chrono::milliseconds(400);
+  Session other(ocfg);
+  other.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  EXPECT_THROW(other.replay_logs(logs, 6), ReplayDivergenceError);
+}
+
+TEST(Divergence, WrongAppFewerEventsDetected) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(7);
+  auto logs = logs_of(rec);
+  core::SessionConfig ocfg;
+  ocfg.stall_timeout = std::chrono::milliseconds(400);
+  Session other(ocfg);
+  other.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 10; ++i) x.set(x.get() + 1);  // 50 recorded
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  EXPECT_THROW(other.replay_logs(logs, 8), ReplayDivergenceError);
+}
+
+TEST(Divergence, MissingVmLogRejected) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(9);
+  EXPECT_THROW(s.replay_logs({}, 10), UsageError);
+}
+
+TEST(Divergence, ReadEntryTamperDetected) {
+  core::SessionConfig cfg;
+  cfg.stall_timeout = std::chrono::milliseconds(600);
+  Session s(cfg);
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5000);
+    auto sock = listener.accept();
+    Bytes data = testutil::read_exactly(*sock, 8);
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5000});
+    sock->output_stream().write(Bytes(8, 0x55));
+    sock->close();
+  });
+  auto rec = s.record(11);
+  auto logs = logs_of(rec);
+  // Inflate a recorded read count beyond what the stream will ever carry:
+  // replay must fail (EOF before the recorded byte count) — not hang,
+  // because the writer side half-closes on socket close.
+  record::NetworkLog tampered;
+  bool bumped = false;
+  for (auto& log : logs) {
+    if (log.vm_id != rec.vm("server").vm_id) continue;
+    for (ThreadNum t : log.network.threads()) {
+      for (auto e : log.network.thread_entries(t)) {
+        if (!bumped && e.kind == sched::EventKind::kSockRead && e.value &&
+            *e.value > 0) {
+          e.value = *e.value + 1000;
+          bumped = true;
+        }
+        tampered.append(t, std::move(e));
+      }
+    }
+    log.network = std::move(tampered);
+  }
+  ASSERT_TRUE(bumped);
+  EXPECT_THROW(s.replay_logs(logs, 12), ReplayDivergenceError);
+}
+
+TEST(Divergence, VerifyCatchesCrossRunMismatch) {
+  // verify() must reject a "replay" whose trace differs — simulated here by
+  // recording two applications that differ by one extra critical event.
+  auto sa = counter_app(nullptr);
+  auto rec_a = sa.record(100);
+
+  core::SessionConfig cfg;
+  cfg.stall_timeout = std::chrono::milliseconds(400);
+  Session sb(cfg);
+  sb.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    x.get();  // one extra event
+  });
+  auto rec_b = sb.record(100);
+  EXPECT_THROW(core::verify(rec_a, rec_b), ReplayDivergenceError);
+}
+
+TEST(Divergence, CorruptFileNeverReplays) {
+  auto s = counter_app(nullptr);
+  auto rec = s.record(13);
+  Bytes data = record::serialize(*rec.vm("app").log);
+  for (std::size_t stride = 1; stride < data.size(); stride += 37) {
+    Bytes bad = data;
+    bad[stride] ^= 0x10;
+    EXPECT_THROW(record::deserialize(bad), LogFormatError);
+  }
+}
+
+}  // namespace
+}  // namespace djvu

@@ -1,0 +1,184 @@
+// Direct unit tests for the HalfPipe stream internals and the FaultSource:
+// conservation under concurrent stress, timeout reads, seeded determinism.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "net/fault_model.h"
+#include "net/tcp.h"
+
+namespace djvu::net {
+namespace {
+
+std::shared_ptr<FaultSource> quiet_faults() {
+  NetworkConfig cfg;
+  cfg.seed = 1;
+  return std::make_shared<FaultSource>(cfg);
+}
+
+std::shared_ptr<FaultSource> jittery_faults(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.seed = seed;
+  cfg.stream_delay = {std::chrono::microseconds(0),
+                      std::chrono::microseconds(150)};
+  cfg.segmentation.mss = 7;
+  cfg.segmentation.short_read_prob = 0.5;
+  return std::make_shared<FaultSource>(cfg);
+}
+
+TEST(HalfPipe, WriteThenReadExact) {
+  HalfPipe pipe(quiet_faults());
+  pipe.write(to_bytes("hello world"));
+  std::uint8_t buf[32];
+  std::size_t n = pipe.read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, buf + n), "hello world");
+}
+
+TEST(HalfPipe, ZeroLengthOps) {
+  HalfPipe pipe(quiet_faults());
+  pipe.write({});  // no-op
+  std::uint8_t buf[4];
+  EXPECT_EQ(pipe.read(buf, 0), 0u);  // zero-byte read never blocks
+  EXPECT_EQ(pipe.available(), 0u);
+}
+
+TEST(HalfPipe, ConcurrentStressConservesStream) {
+  auto faults = jittery_faults(3);
+  HalfPipe pipe(faults);
+  constexpr int kBytes = 20000;
+  std::thread writer([&] {
+    Bytes chunk;
+    int sent = 0;
+    Xoshiro256 rng(7);
+    while (sent < kBytes) {
+      std::size_t len = 1 + rng.next_below(97);
+      if (sent + static_cast<int>(len) > kBytes) {
+        len = static_cast<std::size_t>(kBytes - sent);
+      }
+      chunk.resize(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        chunk[i] = static_cast<std::uint8_t>(sent + static_cast<int>(i));
+      }
+      pipe.write(chunk);
+      sent += static_cast<int>(len);
+    }
+    pipe.close_writer();
+  });
+
+  Bytes got;
+  std::uint8_t buf[64];
+  for (;;) {
+    std::size_t n = pipe.read(buf, sizeof buf);
+    if (n == 0) break;
+    got.insert(got.end(), buf, buf + n);
+  }
+  writer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kBytes));
+  for (int i = 0; i < kBytes; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)],
+              static_cast<std::uint8_t>(i))
+        << "at offset " << i;
+  }
+  EXPECT_EQ(pipe.total_written(), static_cast<std::uint64_t>(kBytes));
+  EXPECT_EQ(pipe.total_read(), static_cast<std::uint64_t>(kBytes));
+}
+
+TEST(HalfPipe, ReadForTimesOutThenDelivers) {
+  HalfPipe pipe(quiet_faults());
+  std::uint8_t buf[8];
+  EXPECT_FALSE(
+      pipe.read_for(buf, 8, std::chrono::milliseconds(5)).has_value());
+  pipe.write(to_bytes("x"));
+  auto got = pipe.read_for(buf, 8, std::chrono::milliseconds(50));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(HalfPipe, ReadForSeesEofNotTimeout) {
+  HalfPipe pipe(quiet_faults());
+  pipe.close_writer();
+  std::uint8_t buf[8];
+  auto got = pipe.read_for(buf, 8, std::chrono::milliseconds(50));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0u);  // EOF, distinct from timeout
+}
+
+TEST(HalfPipe, CloseReaderDiscardsAndRejects) {
+  HalfPipe pipe(quiet_faults());
+  pipe.write(to_bytes("doomed"));
+  pipe.close_reader();
+  std::uint8_t buf[8];
+  EXPECT_THROW(pipe.read(buf, 8), NetError);
+  EXPECT_THROW(pipe.write(to_bytes("more")), NetError);
+}
+
+TEST(HalfPipe, DelayedSegmentsNotImmediatelyAvailable) {
+  NetworkConfig cfg;
+  cfg.seed = 2;
+  cfg.stream_delay = {std::chrono::milliseconds(20),
+                      std::chrono::milliseconds(30)};
+  HalfPipe pipe(std::make_shared<FaultSource>(cfg));
+  pipe.write(to_bytes("slow"));
+  EXPECT_EQ(pipe.available(), 0u);  // in flight
+  std::uint8_t buf[8];
+  std::size_t n = pipe.read(buf, 8);  // blocks until delivery
+  EXPECT_EQ(n, 4u);
+}
+
+TEST(FaultSource, SameSeedSameDraws) {
+  NetworkConfig cfg;
+  cfg.seed = 99;
+  cfg.udp.loss_prob = 0.5;
+  cfg.udp.dup_prob = 0.3;
+  cfg.udp.delay = {std::chrono::microseconds(1),
+                   std::chrono::microseconds(500)};
+  FaultSource a(cfg), b(cfg);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.draw_udp_loss(), b.draw_udp_loss());
+    EXPECT_EQ(a.draw_udp_dup(), b.draw_udp_dup());
+    EXPECT_EQ(a.draw_udp_delay(), b.draw_udp_delay());
+  }
+}
+
+TEST(FaultSource, DelayWithinBounds) {
+  NetworkConfig cfg;
+  cfg.seed = 5;
+  cfg.connect_delay = {std::chrono::microseconds(10),
+                       std::chrono::microseconds(90)};
+  FaultSource f(cfg);
+  for (int i = 0; i < 500; ++i) {
+    auto d = f.draw_connect_delay();
+    EXPECT_GE(d.count(), 10);
+    EXPECT_LE(d.count(), 90);
+  }
+}
+
+TEST(FaultSource, ZeroConfigIsFastAndZero) {
+  NetworkConfig cfg;
+  FaultSource f(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.draw_stream_delay().count(), 0);
+    EXPECT_FALSE(f.draw_udp_loss());
+    EXPECT_FALSE(f.draw_udp_dup());
+  }
+}
+
+TEST(HalfPipe, ShortReadsOccurWithSegmentation) {
+  // With mss=7 and short_read_prob=1.0, a read spanning segments stops at
+  // the first boundary.
+  NetworkConfig cfg;
+  cfg.seed = 8;
+  cfg.segmentation.mss = 7;
+  cfg.segmentation.short_read_prob = 1.0;
+  HalfPipe pipe(std::make_shared<FaultSource>(cfg));
+  pipe.write(Bytes(21, 0x11));  // three segments
+  std::uint8_t buf[32];
+  EXPECT_EQ(pipe.read(buf, 32), 7u);
+  EXPECT_EQ(pipe.read(buf, 32), 7u);
+  EXPECT_EQ(pipe.read(buf, 32), 7u);
+}
+
+}  // namespace
+}  // namespace djvu::net

@@ -1,0 +1,246 @@
+// Unit tests for the simulated TCP substrate: streams, partial reads,
+// connect racing, EOF/reset semantics, listeners.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/network.h"
+
+namespace djvu::net {
+namespace {
+
+NetworkConfig quiet() {
+  NetworkConfig cfg;
+  cfg.seed = 1;
+  return cfg;
+}
+
+NetworkConfig choppy(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.seed = seed;
+  cfg.stream_delay = {std::chrono::microseconds(0),
+                      std::chrono::microseconds(200)};
+  cfg.segmentation.mss = 4;
+  cfg.segmentation.short_read_prob = 0.7;
+  return cfg;
+}
+
+TEST(Tcp, ConnectAcceptRoundTrip) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+
+  client->write(to_bytes("ping"));
+  std::uint8_t buf[16];
+  std::size_t n = server->read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, buf + n), "ping");
+
+  server->write(to_bytes("pong"));
+  n = client->read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, buf + n), "pong");
+}
+
+TEST(Tcp, ConnectRefusedWithoutListener) {
+  Network net(quiet());
+  EXPECT_THROW(net.connect(2, {1, 80}), NetError);
+  try {
+    net.connect(2, {1, 80});
+    FAIL();
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kConnectionRefused);
+  }
+}
+
+TEST(Tcp, PartialReadsConserveBytes) {
+  Network net(choppy(3));
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+
+  Bytes sent;
+  for (int i = 0; i < 500; ++i) sent.push_back(static_cast<std::uint8_t>(i));
+  client->write(sent);
+  client->close();
+
+  Bytes got;
+  std::size_t reads = 0;
+  for (;;) {
+    std::uint8_t buf[64];
+    std::size_t n = server->read(buf, sizeof buf);
+    if (n == 0) break;
+    got.insert(got.end(), buf, buf + n);
+    ++reads;
+  }
+  EXPECT_EQ(got, sent);          // order and content conserved (I3)
+  EXPECT_GT(reads, 8u);          // mss=4 forced many partial reads
+}
+
+TEST(Tcp, EofAfterDrain) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  client->write(to_bytes("xy"));
+  client->close();
+  std::uint8_t buf[8];
+  EXPECT_EQ(server->read(buf, 8), 2u);
+  EXPECT_EQ(server->read(buf, 8), 0u);  // EOF only after drain
+}
+
+TEST(Tcp, WriteAfterPeerCloseResets) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  server->close();
+  try {
+    client->write(to_bytes("doomed"));
+    FAIL() << "expected reset";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kConnectionReset);
+  }
+}
+
+TEST(Tcp, ShutdownWriteKeepsReceiving) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  server->shutdown_write();
+  // Peer sees EOF...
+  std::uint8_t buf[4];
+  EXPECT_EQ(client->read(buf, 4), 0u);
+  // ...but can still write to the half-closed end.
+  client->write(to_bytes("ok"));
+  EXPECT_EQ(server->read(buf, 4), 2u);
+}
+
+TEST(Tcp, AvailableAndWaitAvailable) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  EXPECT_EQ(server->available(), 0u);
+  client->write(to_bytes("12345"));
+  EXPECT_TRUE(server->wait_available(5));
+  EXPECT_EQ(server->available(), 5u);
+  client->close();
+  EXPECT_FALSE(server->wait_available(6));  // can never arrive
+}
+
+TEST(Tcp, BacklogPreservesArrivalOrder) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto c1 = net.connect(2, {1, 80});
+  auto c2 = net.connect(3, {1, 80});
+  c1->write(to_bytes("1"));
+  c2->write(to_bytes("2"));
+  EXPECT_EQ(listener->backlog_size(), 2u);
+  std::uint8_t b;
+  auto s1 = listener->accept();
+  s1->read(&b, 1);
+  EXPECT_EQ(b, '1');
+  auto s2 = listener->accept();
+  s2->read(&b, 1);
+  EXPECT_EQ(b, '2');
+}
+
+TEST(Tcp, ConnectDelayRacesConnections) {
+  // With a wide connect-delay window, the arrival order of concurrent
+  // connects varies by seed — the Fig. 1 nondeterminism.
+  std::set<std::string> orders;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    NetworkConfig cfg;
+    cfg.seed = seed;
+    cfg.connect_delay = {std::chrono::microseconds(0),
+                         std::chrono::microseconds(2000)};
+    Network net(cfg);
+    auto listener = net.listen({1, 80});
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 3; ++c) {
+      threads.emplace_back([&net, c] {
+        auto conn = net.connect(static_cast<HostId>(10 + c), {1, 80});
+        conn->write(Bytes{static_cast<std::uint8_t>(0x61 + c)});
+      });
+    }
+    std::string order;
+    for (int c = 0; c < 3; ++c) {
+      auto conn = listener->accept();
+      std::uint8_t b;
+      conn->read(&b, 1);
+      order.push_back(static_cast<char>(b));
+    }
+    for (auto& t : threads) t.join();
+    orders.insert(order);
+  }
+  EXPECT_GT(orders.size(), 1u) << "expected pairing to vary across seeds";
+}
+
+TEST(Tcp, ListenerCloseUnblocksAccept) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    listener->close();
+  });
+  EXPECT_THROW(listener->accept(), NetError);
+  closer.join();
+}
+
+TEST(Tcp, AddressInUse) {
+  Network net(quiet());
+  auto l = net.listen({1, 80});
+  EXPECT_THROW(net.listen({1, 80}), NetError);
+  net.unlisten({1, 80});
+  EXPECT_NO_THROW(net.listen({1, 80}));
+}
+
+TEST(Tcp, EphemeralPortsDistinct) {
+  Network net(quiet());
+  Port a = net.allocate_ephemeral(1);
+  Port b = net.allocate_ephemeral(1);
+  Port c = net.allocate_ephemeral(2);
+  EXPECT_NE(a, b);
+  EXPECT_GE(a, kEphemeralBase);
+  EXPECT_GE(c, kEphemeralBase);
+}
+
+TEST(Tcp, ReadFullyThrowsOnShortStream) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  auto client = net.connect(2, {1, 80});
+  auto server = listener->accept();
+  client->write(to_bytes("abc"));
+  client->close();
+  std::uint8_t buf[8];
+  EXPECT_THROW(server->read_fully(buf, 8), NetError);
+}
+
+TEST(Tcp, BacklogLimitRefuses) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80}, /*backlog=*/2);
+  auto c1 = net.connect(2, {1, 80});
+  auto c2 = net.connect(3, {1, 80});
+  try {
+    net.connect(4, {1, 80});
+    FAIL() << "expected backlog refusal";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kConnectionRefused);
+  }
+  // Draining the backlog admits new connections again.
+  auto s1 = listener->accept();
+  EXPECT_NO_THROW(net.connect(4, {1, 80}));
+}
+
+TEST(Tcp, ShutdownRefusesNewWork) {
+  Network net(quiet());
+  auto listener = net.listen({1, 80});
+  net.shutdown();
+  EXPECT_THROW(net.connect(2, {1, 80}), NetError);
+  EXPECT_THROW(listener->accept(), NetError);
+}
+
+}  // namespace
+}  // namespace djvu::net

@@ -1,0 +1,172 @@
+// Unit tests for the simulated UDP substrate: delivery, faults, multicast.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "net/network.h"
+
+namespace djvu::net {
+namespace {
+
+NetworkConfig quiet() {
+  NetworkConfig cfg;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Udp, SendReceiveRoundTrip) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 100});
+  auto b = net.udp_bind({2, 200});
+  a->send_to({2, 200}, to_bytes("hello"));
+  Datagram dg = b->receive();
+  EXPECT_EQ(djvu::to_string(BytesView(dg.payload)), "hello");
+  EXPECT_EQ(dg.source, (SocketAddress{1, 100}));
+}
+
+TEST(Udp, UnknownDestinationSilentlyDropped) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 100});
+  EXPECT_NO_THROW(a->send_to({9, 999}, to_bytes("void")));
+}
+
+TEST(Udp, MessageTooLargeThrows) {
+  NetworkConfig cfg = quiet();
+  cfg.max_datagram = 16;
+  Network net(cfg);
+  auto a = net.udp_bind({1, 100});
+  Bytes big(17, 0);
+  try {
+    a->send_to({2, 200}, big);
+    FAIL();
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kMessageTooLarge);
+  }
+}
+
+TEST(Udp, LossDropsSomeDatagrams) {
+  NetworkConfig cfg = quiet();
+  cfg.udp.loss_prob = 0.5;
+  Network net(cfg);
+  auto a = net.udp_bind({1, 100});
+  auto b = net.udp_bind({2, 200});
+  for (int i = 0; i < 200; ++i) a->send_to({2, 200}, Bytes{std::uint8_t(i)});
+  std::size_t delivered = b->pending();
+  EXPECT_GT(delivered, 40u);
+  EXPECT_LT(delivered, 160u);
+}
+
+TEST(Udp, DuplicationDeliversExtras) {
+  NetworkConfig cfg = quiet();
+  cfg.udp.dup_prob = 1.0;
+  Network net(cfg);
+  auto a = net.udp_bind({1, 100});
+  auto b = net.udp_bind({2, 200});
+  for (int i = 0; i < 10; ++i) a->send_to({2, 200}, Bytes{std::uint8_t(i)});
+  EXPECT_EQ(b->pending(), 20u);
+}
+
+TEST(Udp, JitterReordersDatagrams) {
+  NetworkConfig cfg = quiet();
+  cfg.udp.delay = {std::chrono::microseconds(0),
+                   std::chrono::microseconds(3000)};
+  bool reordered = false;
+  for (std::uint64_t seed = 0; seed < 10 && !reordered; ++seed) {
+    cfg.seed = seed;
+    Network net(cfg);
+    auto a = net.udp_bind({1, 100});
+    auto b = net.udp_bind({2, 200});
+    for (int i = 0; i < 20; ++i) a->send_to({2, 200}, Bytes{std::uint8_t(i)});
+    int prev = -1;
+    for (int i = 0; i < 20; ++i) {
+      Datagram dg = b->receive();
+      if (dg.payload[0] < prev) reordered = true;
+      prev = dg.payload[0];
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Udp, ReceiveForTimesOut) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 100});
+  EXPECT_FALSE(a->receive_for(std::chrono::milliseconds(5)).has_value());
+}
+
+TEST(Udp, CloseUnblocksReceive) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 100});
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    a->close();
+  });
+  EXPECT_THROW(a->receive(), NetError);
+  closer.join();
+}
+
+TEST(Udp, RebindAfterClose) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 100});
+  EXPECT_THROW(net.udp_bind({1, 100}), NetError);
+  a->close();
+  EXPECT_NO_THROW(net.udp_bind({1, 100}));
+}
+
+TEST(Udp, EphemeralBind) {
+  Network net(quiet());
+  auto a = net.udp_bind({1, 0});
+  auto b = net.udp_bind({1, 0});
+  EXPECT_NE(a->address().port, b->address().port);
+  EXPECT_GE(a->address().port, kEphemeralBase);
+}
+
+TEST(Multicast, FanOutToMembers) {
+  Network net(quiet());
+  SocketAddress group{kMulticastHostBase + 1, 500};
+  auto m1 = net.udp_bind({1, 100});
+  auto m2 = net.udp_bind({2, 100});
+  auto outsider = net.udp_bind({3, 100});
+  auto sender = net.udp_bind({4, 100});
+  net.join_group(group, m1->address());
+  net.join_group(group, m2->address());
+
+  sender->send_to(group, to_bytes("cast"));
+  EXPECT_EQ(djvu::to_string(BytesView(m1->receive().payload)), "cast");
+  EXPECT_EQ(djvu::to_string(BytesView(m2->receive().payload)), "cast");
+  EXPECT_EQ(outsider->pending(), 0u);
+}
+
+TEST(Multicast, LeaveStopsDelivery) {
+  Network net(quiet());
+  SocketAddress group{kMulticastHostBase + 2, 500};
+  auto m = net.udp_bind({1, 100});
+  auto sender = net.udp_bind({2, 100});
+  net.join_group(group, m->address());
+  sender->send_to(group, to_bytes("a"));
+  net.leave_group(group, m->address());
+  sender->send_to(group, to_bytes("b"));
+  EXPECT_EQ(djvu::to_string(BytesView(m->receive().payload)), "a");
+  EXPECT_EQ(m->pending(), 0u);
+}
+
+TEST(Multicast, GroupMembersReflectsJoins) {
+  Network net(quiet());
+  SocketAddress group{kMulticastHostBase + 3, 500};
+  EXPECT_TRUE(net.group_members(group).empty());
+  net.join_group(group, {1, 100});
+  net.join_group(group, {2, 100});
+  EXPECT_EQ(net.group_members(group).size(), 2u);
+  net.leave_group(group, {1, 100});
+  EXPECT_EQ(net.group_members(group).size(), 1u);
+}
+
+TEST(Multicast, IsMulticastPredicate) {
+  EXPECT_TRUE(is_multicast({kMulticastHostBase, 1}));
+  EXPECT_TRUE(is_multicast({kMulticastHostBase + 99, 1}));
+  EXPECT_FALSE(is_multicast({1, 1}));
+}
+
+}  // namespace
+}  // namespace djvu::net

@@ -1,0 +1,76 @@
+// Tests for Session::record_until — the bug-hunting loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/session.h"
+#include "vm/shared_var.h"
+#include "vm/thread.h"
+
+namespace djvu {
+namespace {
+
+using core::Session;
+using core::SessionConfig;
+
+std::atomic<std::uint64_t> g_last_final{0};
+
+Session racy_session(int threads, int iters, double chaos) {
+  SessionConfig cfg;
+  cfg.chaos_prob = chaos;
+  Session s(cfg);
+  s.add_vm("app", 1, true, [threads, iters](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(v, [&x, iters] {
+        for (int i = 0; i < iters; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : pool) t.join();
+    g_last_final = x.unsafe_peek();
+  });
+  return s;
+}
+
+TEST(RecordUntil, CatchesLostUpdateAndReplays) {
+  constexpr std::uint64_t kExpected = 4 * 120;
+  auto s = racy_session(4, 120, /*chaos=*/0.15);
+  auto buggy = s.record_until(
+      [&](const core::RunResult&) { return g_last_final.load() != kExpected; },
+      /*max_attempts=*/200);
+  ASSERT_TRUE(buggy.has_value()) << "no lost update in 200 chaotic runs";
+  std::uint64_t caught_value = g_last_final.load();
+  EXPECT_LT(caught_value, kExpected);
+
+  // The caught execution replays to the same buggy value, repeatedly.
+  for (int i = 0; i < 2; ++i) {
+    auto rep = s.replay(*buggy, static_cast<std::uint64_t>(i) + 50);
+    core::verify(*buggy, rep);
+    EXPECT_EQ(g_last_final.load(), caught_value);
+  }
+}
+
+TEST(RecordUntil, GivesUpCleanly) {
+  auto s = racy_session(1, 10, 0.0);  // single thread: never racy
+  auto result = s.record_until(
+      [&](const core::RunResult&) { return g_last_final.load() != 10; },
+      /*max_attempts=*/5);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(RecordUntil, PredicateOnRunResultFields) {
+  auto s = racy_session(2, 15, 0.0);
+  // Predicates can inspect the structured result too.
+  auto result = s.record_until(
+      [](const core::RunResult& r) {
+        return r.vm("app").critical_events > 0;
+      },
+      /*max_attempts=*/3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->vm("app").log.has_value());
+}
+
+}  // namespace
+}  // namespace djvu

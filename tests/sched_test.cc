@@ -1,0 +1,227 @@
+// Unit tests for src/sched: global counter, GC-critical section, logical
+// interval detection, replay cursors, traces.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/global_counter.h"
+#include "sched/interval.h"
+#include "sched/thread_registry.h"
+#include "sched/trace.h"
+
+namespace djvu::sched {
+namespace {
+
+TEST(GlobalCounter, TickAssignsSequentialValues) {
+  GlobalCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(c.tick(), 0u);
+  EXPECT_EQ(c.tick(), 1u);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(GlobalCounter, WithSectionIsAtomicAcrossThreads) {
+  GlobalCounter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<GlobalCount> seen[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.with_section([&](GlobalCount g) { seen[t].push_back(g); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), GlobalCount{kThreads * kPerThread});
+  // All assigned values are unique (no two events shared a counter value).
+  std::vector<GlobalCount> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(GlobalCounter, AwaitReleasesInOrder) {
+  GlobalCounter c;
+  std::vector<int> order;
+  std::mutex m;
+  std::vector<std::thread> threads;
+  // Three threads wait for turns 2, 1, 0; ticking releases them in order.
+  for (int turn = 0; turn < 3; ++turn) {
+    threads.emplace_back([&, turn] {
+      c.await(static_cast<GlobalCount>(turn));
+      {
+        std::lock_guard<std::mutex> lock(m);
+        order.push_back(turn);
+      }
+      c.tick();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GlobalCounter, AwaitPastValueThrows) {
+  GlobalCounter c;
+  c.tick();
+  c.tick();
+  EXPECT_THROW(c.await(0), ReplayDivergenceError);
+}
+
+TEST(IntervalRecorder, SingleRunIsOneInterval) {
+  IntervalRecorder r;
+  for (GlobalCount g = 5; g < 105; ++g) r.on_event(g);
+  auto list = r.finish();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], (LogicalInterval{5, 104}));
+  EXPECT_EQ(list[0].length(), 100u);
+}
+
+TEST(IntervalRecorder, GapStartsNewInterval) {
+  IntervalRecorder r;
+  r.on_event(0);
+  r.on_event(1);
+  r.on_event(5);  // another thread took 2,3,4
+  r.on_event(6);
+  r.on_event(10);
+  auto list = r.finish();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], (LogicalInterval{0, 1}));
+  EXPECT_EQ(list[1], (LogicalInterval{5, 6}));
+  EXPECT_EQ(list[2], (LogicalInterval{10, 10}));
+}
+
+TEST(IntervalRecorder, EmptyFinish) {
+  IntervalRecorder r;
+  EXPECT_TRUE(r.finish().empty());
+}
+
+// The paper's efficiency claim: interleaved threads produce intervals, and
+// each interval costs two counter values regardless of its length.
+TEST(IntervalRecorder, TwoThreadsRoundRobin) {
+  IntervalRecorder a, b;
+  // a gets 0..9, b gets 10..19, a gets 20..29, ...
+  GlobalCount g = 0;
+  for (int round = 0; round < 4; ++round) {
+    IntervalRecorder& r = (round % 2 == 0) ? a : b;
+    for (int i = 0; i < 10; ++i) r.on_event(g++);
+  }
+  auto la = a.finish();
+  auto lb = b.finish();
+  ASSERT_EQ(la.size(), 2u);
+  ASSERT_EQ(lb.size(), 2u);
+  EXPECT_EQ(la[0], (LogicalInterval{0, 9}));
+  EXPECT_EQ(la[1], (LogicalInterval{20, 29}));
+  EXPECT_EQ(lb[0], (LogicalInterval{10, 19}));
+  EXPECT_EQ(lb[1], (LogicalInterval{30, 39}));
+}
+
+TEST(IntervalCursor, WalksEveryEvent) {
+  IntervalCursor c({{2, 4}, {7, 7}, {9, 11}});
+  std::vector<GlobalCount> seen;
+  while (!c.exhausted()) {
+    seen.push_back(c.peek());
+    c.advance();
+  }
+  EXPECT_EQ(seen, (std::vector<GlobalCount>{2, 3, 4, 7, 9, 10, 11}));
+}
+
+TEST(IntervalCursor, ExhaustedPeekThrows) {
+  IntervalCursor c({{0, 0}});
+  c.advance();
+  EXPECT_TRUE(c.exhausted());
+  EXPECT_THROW(c.peek(), ReplayDivergenceError);
+  EXPECT_THROW(c.advance(), ReplayDivergenceError);
+}
+
+TEST(IntervalCursor, Remaining) {
+  IntervalCursor c({{0, 2}, {5, 5}});
+  EXPECT_EQ(c.remaining(), 4u);
+  c.advance();
+  EXPECT_EQ(c.remaining(), 3u);
+  c.advance();
+  c.advance();
+  c.advance();
+  EXPECT_EQ(c.remaining(), 0u);
+}
+
+// Property: for ANY interleaving, recording then replaying the interval
+// lists reproduces the original event order.
+TEST(Intervals, RecordThenCursorRoundTrip) {
+  constexpr int kThreads = 5;
+  Xoshiro256 rng(1234);
+  std::vector<IntervalRecorder> recorders(kThreads);
+  std::vector<std::vector<GlobalCount>> events(kThreads);
+  for (GlobalCount g = 0; g < 5000; ++g) {
+    auto t = static_cast<std::size_t>(rng.next_below(kThreads));
+    recorders[t].on_event(g);
+    events[t].push_back(g);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    IntervalCursor c(recorders[t].finish());
+    for (GlobalCount g : events[t]) {
+      EXPECT_EQ(c.peek(), g);
+      c.advance();
+    }
+    EXPECT_TRUE(c.exhausted());
+  }
+}
+
+TEST(ThreadRegistry, CreationOrderNumbers) {
+  ThreadRegistry reg;
+  EXPECT_EQ(reg.register_thread().num, 0u);
+  EXPECT_EQ(reg.register_thread().num, 1u);
+  EXPECT_EQ(reg.register_thread().num, 2u);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_NE(reg.find(1), nullptr);
+  EXPECT_EQ(reg.find(9), nullptr);
+}
+
+TEST(ThreadRegistry, EventNumPerThread) {
+  ThreadRegistry reg;
+  auto& a = reg.register_thread();
+  auto& b = reg.register_thread();
+  EXPECT_EQ(a.take_network_event_num(), 0u);
+  EXPECT_EQ(a.take_network_event_num(), 1u);
+  EXPECT_EQ(b.take_network_event_num(), 0u);
+}
+
+TEST(Trace, DigestSensitivity) {
+  ExecutionTrace a, b, c;
+  for (GlobalCount g = 0; g < 10; ++g) {
+    TraceRecord r{g, 0, EventKind::kSharedRead, g * 3};
+    a.append(r);
+    b.append(r);
+    r.aux += (g == 7);  // one different payload
+    c.append(r);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_EQ(ExecutionTrace::first_divergence(a, b), "");
+  EXPECT_NE(ExecutionTrace::first_divergence(a, c), "");
+}
+
+TEST(Trace, SortsByCounter) {
+  ExecutionTrace t;
+  t.append({5, 0, EventKind::kSharedRead, 0});
+  t.append({1, 1, EventKind::kSharedWrite, 0});
+  t.append({3, 0, EventKind::kNotify, 0});
+  auto sorted = t.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].gc, 1u);
+  EXPECT_EQ(sorted[1].gc, 3u);
+  EXPECT_EQ(sorted[2].gc, 5u);
+}
+
+TEST(Trace, LengthMismatchReported) {
+  ExecutionTrace a, b;
+  a.append({0, 0, EventKind::kSharedRead, 0});
+  EXPECT_NE(ExecutionTrace::first_divergence(a, b), "");
+}
+
+}  // namespace
+}  // namespace djvu::sched

@@ -1,0 +1,256 @@
+// Focused behaviours of the stream socket interposition (§4.1):
+// available/bind replay, exception record→re-throw, EOF, per-direction FD
+// locks, eventNum stability.
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "tests/test_util.h"
+#include "vm/shared_var.h"
+#include "vm/socket_api.h"
+#include "vm/thread.h"
+
+namespace djvu {
+namespace {
+
+using core::Session;
+using core::SessionConfig;
+
+SessionConfig slow_net(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.net.seed = seed;
+  cfg.net.stream_delay = {std::chrono::microseconds(50),
+                          std::chrono::microseconds(400)};
+  cfg.net.segmentation.mss = 4;
+  return cfg;
+}
+
+// available() returns a racy snapshot in record mode; replay reproduces the
+// recorded values ("the application should see the same port number /
+// available count during the replay phase").
+TEST(SocketApi, AvailableReplaysRecordedCounts) {
+  Session s(slow_net(3));
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5000);
+    auto sock = listener.accept();
+    vm::SharedVar<std::uint64_t> observations(v, 0);
+    // Poll available() while bytes trickle in — values depend on timing.
+    for (int i = 0; i < 20; ++i) {
+      observations.set(observations.get() * 33 +
+                       sock->input_stream().available());
+    }
+    testutil::read_exactly(*sock, 64);
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5000});
+    Bytes data(64, 0x11);
+    sock->output_stream().write(data);
+    sock->close();
+  });
+  auto rec = s.record(5);
+  auto rep = s.replay(rec, 6);
+  core::verify(rec, rep);  // aux hashes include every available() value
+}
+
+TEST(SocketApi, EphemeralBindPortReplays) {
+  Session s(slow_net(4));
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket ephemeral(v, 0);  // OS picks the port
+    vm::SharedVar<std::uint64_t> seen(v, 0);
+    seen.set(ephemeral.local_port());  // traced: must replay equal
+    ephemeral.close();
+  });
+  auto rec = s.record(9);
+  auto rep = s.replay(rec, 10);
+  core::verify(rec, rep);
+}
+
+TEST(SocketApi, ConnectRefusedRecordedAndRethrown) {
+  Session s(slow_net(5));
+  s.add_vm("client", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> outcome(v, 0);
+    try {
+      vm::Socket sock(v, {9, 4242});  // nothing listens there
+      outcome.set(1);
+    } catch (const vm::ConnectException&) {
+      outcome.set(2);
+    }
+    if (outcome.unsafe_peek() != 2) throw Error("expected refusal");
+  });
+  auto rec = s.record(2);
+  ASSERT_TRUE(rec.vm("client").log.has_value());
+  // The refusal must be in the log...
+  bool found = false;
+  for (ThreadNum t : rec.vm("client").log->network.threads()) {
+    for (const auto& e : rec.vm("client").log->network.thread_entries(t)) {
+      if (e.error == NetErrorCode::kConnectionRefused) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // ...and replay must re-throw it without a network (host 9 never runs).
+  auto rep = s.replay(rec, 77);
+  core::verify(rec, rep);
+}
+
+TEST(SocketApi, BindConflictRecordedAndRethrown) {
+  Session s(slow_net(6));
+  s.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket first(v, 7100);
+    vm::SharedVar<std::uint64_t> outcome(v, 0);
+    try {
+      vm::ServerSocket second(v, 7100);  // same port: must fail
+      outcome.set(1);
+    } catch (const vm::BindException&) {
+      outcome.set(2);
+    }
+    first.close();
+    if (outcome.unsafe_peek() != 2) throw Error("expected bind conflict");
+  });
+  auto rec = s.record(3);
+  auto rep = s.replay(rec, 4);
+  core::verify(rec, rep);
+}
+
+TEST(SocketApi, EofReplays) {
+  Session s(slow_net(7));
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5100);
+    auto sock = listener.accept();
+    Bytes all;
+    for (;;) {
+      Bytes part = sock->input_stream().read(16);
+      if (part.empty()) break;  // EOF — recorded as a 0-byte read
+      append(all, part);
+    }
+    if (all.size() != 10) throw Error("bad total");
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5100});
+    sock->output_stream().write(Bytes(10, 0x2a));
+    sock->close();  // EOF for the server
+  });
+  auto rec = s.record(8);
+  auto rep = s.replay(rec, 9);
+  core::verify(rec, rep);
+}
+
+// Reads and writes on ONE socket must not block each other (per-direction
+// FD locks): a thread blocked reading while another thread writes on the
+// same socket must make progress.
+TEST(SocketApi, FullDuplexSingleSocket) {
+  Session s(slow_net(8));
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5200);
+    auto sock = listener.accept();
+    // Echo 20 bytes one at a time.
+    for (int i = 0; i < 20; ++i) {
+      Bytes b = testutil::read_exactly(*sock, 1);
+      sock->output_stream().write(b);
+    }
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5200});
+    vm::Socket* raw = sock.get();
+    // Reader thread blocks on the echo while the main thread writes — on
+    // the same socket object.
+    vm::VmThread reader(v, [raw, &v] {
+      vm::SharedVar<std::uint64_t> sum(v, 0);
+      for (int i = 0; i < 20; ++i) {
+        Bytes b = testutil::read_exactly(*raw, 1);
+        sum.set(sum.get() + b[0]);
+      }
+    });
+    for (int i = 0; i < 20; ++i) {
+      sock->output_stream().write(Bytes{static_cast<std::uint8_t>(i)});
+    }
+    reader.join();
+    sock->close();
+  });
+  auto rec = s.record(21);
+  auto rep = s.replay(rec, 22);
+  core::verify(rec, rep);
+}
+
+// Multiple writer threads on one socket: the FD write lock serializes them
+// and the total byte stream replays in the same order (the paper's
+// "multiple writes on the same socket may overlap" case).
+TEST(SocketApi, RacyWritersSameSocketReplay) {
+  for (std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    Session s(slow_net(seed));
+    s.add_vm("server", 1, true, [](vm::Vm& v) {
+      vm::ServerSocket listener(v, 5300);
+      auto sock = listener.accept();
+      Bytes all = testutil::read_exactly(*sock, 30);
+      vm::SharedVar<std::uint64_t> fold(v, 0);
+      for (std::uint8_t b : all) fold.set(fold.get() * 7 + b);
+      sock->close();
+      listener.close();
+    });
+    s.add_vm("client", 2, true, [](vm::Vm& v) {
+      auto sock = testutil::connect_retry(v, {1, 5300});
+      vm::Socket* raw = sock.get();
+      std::vector<vm::VmThread> writers;
+      for (int w = 0; w < 3; ++w) {
+        writers.emplace_back(v, [raw, w] {
+          for (int i = 0; i < 10; ++i) {
+            raw->output_stream().write(
+                Bytes{static_cast<std::uint8_t>(w * 50 + i)});
+          }
+        });
+      }
+      for (auto& w : writers) w.join();
+      sock->close();
+    });
+    auto rec = s.record(seed * 100);
+    auto rep = s.replay(rec, seed * 100 + 1);
+    core::verify(rec, rep);
+  }
+}
+
+// Network event numbering is per thread and call-order stable: the
+// NetworkLogFile addresses entries by <threadNum, eventNum> and replay
+// looks them up blindly — a mismatch surfaces as divergence, so a clean
+// verify here certifies stability.
+TEST(SocketApi, InterleavedSocketsStableEventNums) {
+  Session s(slow_net(12));
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket a(v, 6100);
+    vm::ServerSocket b(v, 6200);
+    auto s1 = a.accept();
+    auto s2 = b.accept();
+    // Interleave operations across two sockets within one thread.
+    Bytes x = testutil::read_exactly(*s1, 2);
+    Bytes y = testutil::read_exactly(*s2, 2);
+    s1->output_stream().write(y);
+    s2->output_stream().write(x);
+    s1->close();
+    s2->close();
+    a.close();
+    b.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto c1 = testutil::connect_retry(v, {1, 6100});
+    auto c2 = testutil::connect_retry(v, {1, 6200});
+    c1->output_stream().write(to_bytes("ab"));
+    c2->output_stream().write(to_bytes("cd"));
+    Bytes r1 = testutil::read_exactly(*c1, 2);
+    Bytes r2 = testutil::read_exactly(*c2, 2);
+    if (to_string(r1) != "cd" || to_string(r2) != "ab") {
+      throw Error("cross-socket routing broke");
+    }
+    c1->close();
+    c2->close();
+  });
+  auto rec = s.record(13);
+  auto rep = s.replay(rec, 14);
+  core::verify(rec, rep);
+}
+
+}  // namespace
+}  // namespace djvu

@@ -1,0 +1,157 @@
+// Tests for recorded environment queries (vm/system_api) and the event
+// observer hook.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/session.h"
+#include "record/validate.h"
+#include "vm/shared_var.h"
+#include "vm/system_api.h"
+#include "vm/thread.h"
+
+namespace djvu {
+namespace {
+
+using core::Session;
+
+TEST(SystemApi, TimeIsRecordedAndReplayedVerbatim) {
+  Session s;
+  std::vector<std::uint64_t> observed;
+  bool recording = true;
+  std::vector<std::uint64_t> recorded_values;
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 5; ++i) {
+      values.push_back(vm::current_time_millis(v));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (recording) {
+      recorded_values = values;
+    } else {
+      observed = values;
+    }
+  });
+  auto rec = s.record(1);
+  ASSERT_EQ(recorded_values.size(), 5u);
+  // Values are plausible wall-clock and non-decreasing.
+  EXPECT_GT(recorded_values[0], 1'600'000'000'000ull);  // after ~2020
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GE(recorded_values[static_cast<std::size_t>(i)],
+              recorded_values[static_cast<std::size_t>(i - 1)]);
+  }
+
+  recording = false;
+  // Replay later: the wall clock has moved on, but the app sees the
+  // recorded instants.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto rep = s.replay(rec, 2);
+  core::verify(rec, rep);
+  EXPECT_EQ(observed, recorded_values);
+}
+
+TEST(SystemApi, NanoTimeReplays) {
+  Session s;
+  std::uint64_t recorded = 0, replayed = 0;
+  bool recording = true;
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    std::uint64_t a = vm::nano_time(v);
+    std::uint64_t b = vm::nano_time(v);
+    if (b < a) throw Error("monotonic clock went backwards");
+    (recording ? recorded : replayed) = b - a;
+  });
+  auto rec = s.record(3);
+  recording = false;
+  auto rep = s.replay(rec, 4);
+  core::verify(rec, rep);
+  EXPECT_EQ(replayed, recorded);  // even the delta is reproduced
+}
+
+TEST(SystemApi, TimeBranchesReplayDeterministically) {
+  // The classic heisenbug shape: behaviour branches on the clock's parity.
+  Session s;
+  std::uint64_t path_taken = 0;
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> branch(v, 0);
+    branch.set(vm::current_time_millis(v) % 2);
+    path_taken = branch.unsafe_peek();
+  });
+  auto rec = s.record(5);
+  std::uint64_t recorded_path = path_taken;
+  for (int i = 0; i < 3; ++i) {
+    auto rep = s.replay(rec, static_cast<std::uint64_t>(i));
+    core::verify(rec, rep);
+    EXPECT_EQ(path_taken, recorded_path);
+  }
+}
+
+TEST(SystemApi, TimeEntriesPassValidation) {
+  Session s;
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    vm::current_time_millis(v);
+    vm::nano_time(v);
+  });
+  auto rec = s.record(6);
+  EXPECT_TRUE(record::validate(*rec.vm("app").log).empty());
+}
+
+TEST(SystemApi, PassthroughReadsRealClock) {
+  auto network = std::make_shared<net::Network>();
+  vm::VmConfig cfg;
+  cfg.vm_id = 1;
+  vm::Vm v(network, cfg);  // passthrough
+  v.attach_main();
+  EXPECT_GT(vm::current_time_millis(v), 1'600'000'000'000ull);
+  EXPECT_EQ(v.critical_events(), 0u);  // no events in passthrough
+  v.detach_current();
+}
+
+TEST(EventObserver, SeesEveryEventInOrder) {
+  Session s;
+  auto seen = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto max_gc = std::make_shared<std::atomic<std::uint64_t>>(0);
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    v.set_event_observer([seen, max_gc](const sched::TraceRecord& r) {
+      seen->fetch_add(1);
+      std::uint64_t prev = max_gc->load();
+      while (r.gc > prev && !max_gc->compare_exchange_weak(prev, r.gc)) {
+      }
+    });
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 30; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  auto rec = s.record(7);
+  EXPECT_EQ(seen->load(), rec.vm("app").critical_events);
+  EXPECT_EQ(max_gc->load(), rec.vm("app").critical_events - 1);
+}
+
+TEST(EventObserver, FiresDuringReplayAtSamePositions) {
+  Session s;
+  auto kinds = std::make_shared<std::atomic<std::uint64_t>>(0);
+  bool attach = false;
+  s.add_vm("app", 1, true, [&](vm::Vm& v) {
+    if (attach) {
+      v.set_event_observer([kinds](const sched::TraceRecord& r) {
+        kinds->fetch_add(static_cast<std::uint64_t>(r.kind) + r.gc);
+      });
+    }
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    for (int i = 0; i < 10; ++i) x.set(x.get() + 1);
+  });
+  auto rec = s.record(8);
+  attach = true;
+  auto rep = s.replay(rec, 9);
+  core::verify(rec, rep);
+  EXPECT_GT(kinds->load(), 0u);
+}
+
+}  // namespace
+}  // namespace djvu

@@ -1,0 +1,43 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "vm/exceptions.h"
+#include "vm/socket_api.h"
+
+namespace djvu::testutil {
+
+/// Connects with retry-on-refused, the idiom a real client uses when the
+/// server may not be listening yet.  Failed attempts are genuine recorded
+/// events, replayed from the log.
+inline std::unique_ptr<vm::Socket> connect_retry(vm::Vm& v,
+                                                 net::SocketAddress addr,
+                                                 int max_attempts = 2000) {
+  for (int i = 0;; ++i) {
+    try {
+      return std::make_unique<vm::Socket>(v, addr);
+    } catch (const vm::ConnectException&) {
+      if (i >= max_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+/// Reads exactly n bytes from a socket's input stream (looping over the
+/// partial reads the network produces); throws on premature EOF.
+inline Bytes read_exactly(vm::Socket& s, std::size_t n) {
+  Bytes out;
+  while (out.size() < n) {
+    Bytes part = s.input_stream().read(n - out.size());
+    if (part.empty()) {
+      throw Error("unexpected EOF after " + std::to_string(out.size()) +
+                  " bytes");
+    }
+    append(out, part);
+  }
+  return out;
+}
+
+}  // namespace djvu::testutil

@@ -1,0 +1,209 @@
+// SO_TIMEOUT record/replay semantics and chaos-mode schedule fuzzing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "core/session.h"
+#include "tests/test_util.h"
+#include "vm/datagram_api.h"
+#include "vm/shared_var.h"
+#include "vm/socket_api.h"
+#include "vm/thread.h"
+
+namespace djvu {
+namespace {
+
+using core::Session;
+using core::SessionConfig;
+
+// A read timeout during record must re-throw instantly during replay — no
+// network, no waiting out the timeout.
+TEST(SoTimeout, ReadTimeoutRecordedAndRethrownFast) {
+  Session s;
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5000);
+    auto sock = listener.accept();
+    sock->set_so_timeout(std::chrono::milliseconds(30));
+    vm::SharedVar<std::uint64_t> outcome(v, 0);
+    try {
+      std::uint8_t buf[8];
+      sock->input_stream().read(buf, 8);  // client never writes
+      outcome.set(1);
+    } catch (const vm::SocketTimeoutException&) {
+      outcome.set(2);
+    }
+    if (outcome.unsafe_peek() != 2) throw Error("expected read timeout");
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5000});
+    // Wait for the server to finish; never write.
+    Bytes eof = sock->input_stream().read(4);
+    if (!eof.empty()) throw Error("expected EOF");
+    sock->close();
+  });
+  auto rec = s.record(1);
+  auto start = std::chrono::steady_clock::now();
+  auto rep = s.replay(rec, 2);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  core::verify(rec, rep);
+  // Replay must not re-serve the 30ms wait per timeout.
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(SoTimeout, AcceptTimeoutRecordedAndRethrown) {
+  Session s;
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5100);
+    listener.set_so_timeout(std::chrono::milliseconds(20));
+    vm::SharedVar<std::uint64_t> timeouts(v, 0);
+    try {
+      listener.accept();  // nobody connects
+    } catch (const vm::SocketTimeoutException&) {
+      timeouts.set(timeouts.get() + 1);
+    }
+    listener.close();
+    if (timeouts.unsafe_peek() != 1) throw Error("expected accept timeout");
+  });
+  auto rec = s.record(3);
+  auto rep = s.replay(rec, 4);
+  core::verify(rec, rep);
+}
+
+TEST(SoTimeout, UdpReceiveTimeoutRecordedAndRethrown) {
+  Session s;
+  s.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::DatagramSocket sock(v, 5200);
+    sock.set_so_timeout(std::chrono::milliseconds(20));
+    vm::SharedVar<std::uint64_t> timeouts(v, 0);
+    try {
+      sock.receive();  // nothing ever arrives
+    } catch (const vm::SocketTimeoutException&) {
+      timeouts.set(timeouts.get() + 1);
+    }
+    sock.close();
+    if (timeouts.unsafe_peek() != 1) throw Error("expected udp timeout");
+  });
+  auto rec = s.record(5);
+  auto rep = s.replay(rec, 6);
+  core::verify(rec, rep);
+}
+
+// Timeout then success on the same socket: the socket stays usable and
+// both outcomes replay.
+TEST(SoTimeout, TimeoutThenDataOnSameSocket) {
+  Session s;
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5300);
+    auto sock = listener.accept();
+    sock->set_so_timeout(std::chrono::milliseconds(15));
+    vm::SharedVar<std::uint64_t> timeouts(v, 0);
+    Bytes data;
+    while (data.size() < 3) {
+      try {
+        Bytes part = sock->input_stream().read(3 - data.size());
+        if (part.empty()) throw Error("unexpected EOF");
+        append(data, part);
+      } catch (const vm::SocketTimeoutException&) {
+        timeouts.set(timeouts.get() + 1);  // recorded count, must replay
+      }
+    }
+    sock->output_stream().write(data);
+    sock->close();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    auto sock = testutil::connect_retry(v, {1, 5300});
+    // Stall past at least one server timeout, then send.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    sock->output_stream().write(to_bytes("abc"));
+    testutil::read_exactly(*sock, 3);
+    sock->close();
+  });
+  auto rec = s.record(7);
+  auto rep = s.replay(rec, 8);
+  core::verify(rec, rep);
+}
+
+// Chaos mode produces more distinct interleavings than a quiet scheduler —
+// and every chaotic recording still replays perfectly.
+TEST(Chaos, IncreasesScheduleDiversityAndStillReplays) {
+  auto run_digest = [](double chaos, std::uint64_t seed) {
+    SessionConfig cfg;
+    cfg.chaos_prob = chaos;
+    Session s(cfg);
+    s.add_vm("app", 1, true, [](vm::Vm& v) {
+      vm::SharedVar<std::uint64_t> x(v, 0);
+      std::vector<vm::VmThread> threads;
+      for (int t = 0; t < 3; ++t) {
+        threads.emplace_back(v, [&x] {
+          for (int i = 0; i < 40; ++i) x.set(x.get() + 1);
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+    auto rec = s.record(seed);
+    auto rep = s.replay(rec, seed + 999);
+    core::verify(rec, rep);
+    return rec.vm("app").trace_digest;
+  };
+
+  std::set<std::uint64_t> chaotic;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    chaotic.insert(run_digest(0.1, seed));
+  }
+  // With chaos, the racy counter's schedules should vary across seeds.
+  EXPECT_GT(chaotic.size(), 2u);
+}
+
+TEST(Chaos, DistributedChaoticRunReplays) {
+  SessionConfig cfg;
+  cfg.chaos_prob = 0.05;
+  cfg.net.connect_delay = {std::chrono::microseconds(0),
+                           std::chrono::microseconds(200)};
+  Session s(cfg);
+  s.add_vm("server", 1, true, [](vm::Vm& v) {
+    vm::ServerSocket listener(v, 5400);
+    vm::SharedVar<std::uint64_t> fold(v, 0);
+    std::vector<vm::VmThread> workers;
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back(v, [&v, &listener, &fold] {
+        for (int c = 0; c < 3; ++c) {
+          auto sock = listener.accept();
+          Bytes b = testutil::read_exactly(*sock, 2);
+          fold.set(fold.get() * 17 + b[0] + b[1]);
+          sock->output_stream().write(b);
+          sock->close();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    listener.close();
+  });
+  s.add_vm("client", 2, true, [](vm::Vm& v) {
+    std::vector<vm::VmThread> workers;
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back(v, [&v, t] {
+        for (int c = 0; c < 3; ++c) {
+          auto sock = testutil::connect_retry(v, {1, 5400});
+          sock->output_stream().write(
+              Bytes{static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(c)});
+          testutil::read_exactly(*sock, 2);
+          sock->close();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  });
+  auto rec = s.record(42);
+  auto rep = s.replay(rec, 43);
+  core::verify(rec, rep);
+}
+
+}  // namespace
+}  // namespace djvu

@@ -1,0 +1,172 @@
+// Tests for trace persistence/diffing (record/trace_io) and log statistics
+// (record/log_stats).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "record/log_stats.h"
+#include "record/serializer.h"
+#include "record/trace_io.h"
+#include "vm/shared_var.h"
+#include "vm/thread.h"
+
+namespace djvu::record {
+namespace {
+
+TraceFile sample_trace() {
+  TraceFile t;
+  t.vm_id = 3;
+  GlobalCount gc = 0;
+  for (int i = 0; i < 200; ++i) {
+    sched::TraceRecord r;
+    r.gc = gc;
+    gc += 1 + (i % 5 == 0);  // occasional gap (other-VM-ish)
+    r.thread = static_cast<ThreadNum>(i % 4);
+    r.kind = (i % 7 == 0) ? sched::EventKind::kSockRead
+                          : sched::EventKind::kSharedWrite;
+    r.aux = static_cast<std::uint64_t>(i) * 0x9e3779b9;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTrip) {
+  TraceFile t = sample_trace();
+  Bytes data = serialize_trace(t);
+  EXPECT_EQ(deserialize_trace(data), t);
+}
+
+TEST(TraceIo, CorruptionRejected) {
+  Bytes data = serialize_trace(sample_trace());
+  for (std::size_t pos : {std::size_t{2}, data.size() / 2, data.size() - 2}) {
+    Bytes bad = data;
+    bad[pos] ^= 0x20;
+    EXPECT_THROW(deserialize_trace(bad), LogFormatError);
+  }
+  EXPECT_THROW(deserialize_trace(Bytes(6, 0)), LogFormatError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  TraceFile t = sample_trace();
+  std::string path = testing::TempDir() + "/djvu_trace_test.djvutrace";
+  save_trace_to_file(t, path);
+  EXPECT_EQ(load_trace_from_file(path), t);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, DiffIdentical) {
+  TraceFile t = sample_trace();
+  auto diff = diff_traces(t, t);
+  EXPECT_TRUE(diff.identical);
+}
+
+TEST(TraceIo, DiffFindsFirstDifference) {
+  TraceFile a = sample_trace();
+  TraceFile b = a;
+  b.records[57].aux ^= 1;
+  auto diff = diff_traces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.position, 57u);
+  EXPECT_FALSE(diff.context_a.empty());
+  EXPECT_FALSE(diff.context_b.empty());
+}
+
+TEST(TraceIo, DiffLengthMismatch) {
+  TraceFile a = sample_trace();
+  TraceFile b = a;
+  b.records.pop_back();
+  auto diff = diff_traces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.position, b.records.size());
+}
+
+TEST(TraceIo, SessionSaveTraces) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    for (int i = 0; i < 10; ++i) x.set(x.get() + 1);
+  });
+  auto rec = s.record(1);
+  std::string dir = testing::TempDir();
+  core::Session::save_traces(rec, dir);
+  TraceFile loaded = load_trace_from_file(dir + "/app.djvutrace");
+  EXPECT_EQ(loaded.vm_id, rec.vm("app").vm_id);
+  EXPECT_EQ(loaded.records.size(), rec.vm("app").trace.size());
+  // Replay trace diffs clean against the loaded record trace.
+  auto rep = s.replay(rec, 2);
+  TraceFile replay_trace{rep.vm("app").vm_id, rep.vm("app").trace};
+  EXPECT_TRUE(diff_traces(loaded, replay_trace).identical);
+  std::remove((dir + "/app.djvutrace").c_str());
+}
+
+TEST(LogStats, CountsScheduleShape) {
+  VmLog log;
+  log.vm_id = 1;
+  log.stats.critical_events = 120;
+  log.schedule.per_thread = {
+      {{0, 49}, {100, 119}},  // lengths 50, 20
+      {{50, 99}},             // length 50
+  };
+  LogStats s = compute_stats(log);
+  EXPECT_EQ(s.threads, 2u);
+  EXPECT_EQ(s.intervals, 3u);
+  EXPECT_EQ(s.min_interval_len, 20u);
+  EXPECT_EQ(s.max_interval_len, 50u);
+  EXPECT_DOUBLE_EQ(s.mean_interval_len, 40.0);
+  EXPECT_DOUBLE_EQ(s.events_per_interval, 40.0);
+  EXPECT_GT(s.schedule_bytes, 0u);
+  EXPECT_GT(s.serialized_bytes, s.schedule_bytes);
+}
+
+TEST(LogStats, CountsNetworkShape) {
+  VmLog log;
+  log.vm_id = 1;
+  NetworkLogEntry read;
+  read.kind = sched::EventKind::kSockRead;
+  read.event_num = 0;
+  read.value = 5;
+  read.data = to_bytes("12345");
+  log.network.append(0, std::move(read));
+  NetworkLogEntry err;
+  err.kind = sched::EventKind::kSockConnect;
+  err.event_num = 1;
+  err.error = NetErrorCode::kConnectionRefused;
+  log.network.append(0, std::move(err));
+
+  LogStats s = compute_stats(log);
+  EXPECT_EQ(s.network_entries, 2u);
+  EXPECT_EQ(s.content_bytes, 5u);
+  EXPECT_EQ(s.exception_entries, 1u);
+  EXPECT_EQ(s.entries_by_kind.at("sock-read"), 1u);
+  EXPECT_EQ(s.entries_by_kind.at("sock-connect"), 1u);
+
+  std::string text = to_text(s);
+  EXPECT_NE(text.find("sock-read"), std::string::npos);
+  EXPECT_NE(text.find("1 exceptions"), std::string::npos);
+}
+
+// On a real recording: the mean interval length times the interval count
+// accounts for every critical event (partition property, I1 again but via
+// the stats path).
+TEST(LogStats, RealRecordingPartition) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&x] {
+        for (int i = 0; i < 100; ++i) x.set(x.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  auto rec = s.record(5);
+  LogStats stats = compute_stats(*rec.vm("app").log);
+  EXPECT_NEAR(stats.mean_interval_len * static_cast<double>(stats.intervals),
+              static_cast<double>(stats.critical_events), 0.5);
+}
+
+}  // namespace
+}  // namespace djvu::record

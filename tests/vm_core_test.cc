@@ -1,0 +1,313 @@
+// Unit tests for the Vm event gateway, threads, shared variables and
+// monitors — single-VM DejaVu (§2), the paper's prior-work layer that
+// distributed DejaVu builds on.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/session.h"
+#include "net/network.h"
+#include "vm/monitor.h"
+#include "vm/shared_var.h"
+#include "vm/thread.h"
+#include "vm/vm.h"
+
+namespace djvu {
+namespace {
+
+using vm::Mode;
+using vm::Vm;
+using vm::VmConfig;
+
+std::shared_ptr<net::Network> make_net() {
+  return std::make_shared<net::Network>();
+}
+
+VmConfig record_cfg() {
+  VmConfig cfg;
+  cfg.vm_id = 1;
+  cfg.host = 1;
+  cfg.mode = Mode::kRecord;
+  return cfg;
+}
+
+TEST(VmGateway, UnboundThreadRejected) {
+  Vm v(make_net(), record_cfg());
+  EXPECT_THROW(v.current_state(), UsageError);
+}
+
+TEST(VmGateway, AttachDetachMain) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  EXPECT_EQ(v.current_state().num, 0u);
+  v.detach_current();
+  EXPECT_THROW(v.current_state(), UsageError);
+}
+
+TEST(VmGateway, ReplayLogRequiredExactlyInReplay) {
+  VmConfig cfg = record_cfg();
+  cfg.mode = Mode::kReplay;
+  EXPECT_THROW(Vm(make_net(), cfg), UsageError);
+
+  auto log = std::make_shared<record::VmLog>();
+  log->vm_id = 99;  // mismatch
+  EXPECT_THROW(Vm(make_net(), cfg, log), UsageError);
+
+  VmConfig rec = record_cfg();
+  EXPECT_THROW(Vm(make_net(), rec,
+                  std::make_shared<record::VmLog>()), UsageError);
+}
+
+TEST(VmGateway, CriticalEventsCountAndTick) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  EXPECT_EQ(v.critical_event(sched::EventKind::kSharedRead,
+                             [](GlobalCount g) {
+                               EXPECT_EQ(g, 0u);
+                               return std::uint64_t{7};
+                             }),
+            0u);
+  EXPECT_EQ(v.mark_event(sched::EventKind::kSockRead, 0), 1u);
+  EXPECT_EQ(v.critical_events(), 2u);
+  EXPECT_EQ(v.network_events(), 1u);
+  auto trace = v.trace().sorted();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].aux, 7u);
+  v.detach_current();
+}
+
+TEST(VmGateway, ThrowingBodyStillTicks) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  EXPECT_THROW(v.critical_event(sched::EventKind::kSockWrite,
+                                [](GlobalCount) -> std::uint64_t {
+                                  throw net::NetError(
+                                      NetErrorCode::kConnectionReset, "x");
+                                }),
+               net::NetError);
+  EXPECT_EQ(v.critical_events(), 1u);
+  v.detach_current();
+}
+
+TEST(VmGateway, FinishRecordCollectsIntervals) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  for (int i = 0; i < 5; ++i) v.mark_event(sched::EventKind::kSharedWrite, 0);
+  v.detach_current();
+  record::VmLog log = v.finish_record();
+  EXPECT_EQ(log.stats.critical_events, 5u);
+  ASSERT_EQ(log.schedule.per_thread.size(), 1u);
+  ASSERT_EQ(log.schedule.per_thread[0].size(), 1u);
+  EXPECT_EQ(log.schedule.per_thread[0][0], (sched::LogicalInterval{0, 4}));
+}
+
+TEST(VmThread, SpawnAssignsCreationOrderNumbers) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  vm::VmThread t1(v, [] {});
+  vm::VmThread t2(v, [] {});
+  EXPECT_EQ(t1.thread_num(), 1u);
+  EXPECT_EQ(t2.thread_num(), 2u);
+  t1.join();
+  t2.join();
+  v.detach_current();
+}
+
+TEST(VmThread, JoinRethrowsBodyException) {
+  Vm v(make_net(), record_cfg());
+  v.attach_main();
+  vm::VmThread t(v, [] { throw Error("boom"); });
+  EXPECT_THROW(t.join(), Error);
+  v.detach_current();
+}
+
+// Single-VM record/replay of a racy counter: the essential DejaVu claim —
+// an unsynchronized increment race replays with the identical interleaving
+// and therefore the identical (possibly lost-update) final value.
+TEST(SingleVm, RacyCounterReplaysExactly) {
+  core::Session s;
+  std::atomic<std::uint64_t> recorded_total{0};
+  std::atomic<std::uint64_t> replayed_total{0};
+  std::atomic<bool> recording{true};
+
+  s.add_vm("app", 1, true, [&](Vm& v) {
+    vm::SharedVar<std::uint64_t> counter(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back(v, [&counter] {
+        for (int i = 0; i < 200; ++i) {
+          counter.set(counter.get() + 1);  // racy increment
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    (recording ? recorded_total : replayed_total) = counter.unsafe_peek();
+  });
+
+  auto rec = s.record(3);
+  recording = false;
+  auto rep = s.replay(rec, 4);
+  core::verify(rec, rep);
+  EXPECT_EQ(recorded_total.load(), replayed_total.load());
+  EXPECT_LE(recorded_total.load(), 800u);
+}
+
+TEST(SingleVm, MonitorMutualExclusionAndReplay) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::Monitor m(v);
+    vm::SharedVar<std::uint64_t> protected_count(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&] {
+        for (int i = 0; i < 50; ++i) {
+          vm::Monitor::Synchronized sync(m);
+          protected_count.set(protected_count.get() + 1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Under the monitor no update is lost.
+    if (protected_count.unsafe_peek() != 150) {
+      throw Error("monitor failed to provide mutual exclusion");
+    }
+  });
+  auto rec = s.record(8);
+  auto rep = s.replay(rec, 9);
+  core::verify(rec, rep);
+}
+
+TEST(SingleVm, MonitorReentrancy) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::Monitor m(v);
+    m.enter();
+    m.enter();  // reentrant
+    m.exit();
+    m.exit();
+  });
+  auto rec = s.record(1);
+  auto rep = s.replay(rec, 2);
+  core::verify(rec, rep);
+}
+
+TEST(SingleVm, WaitNotifyPingPongReplays) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::Monitor m(v);
+    vm::SharedVar<int> turn(v, 0);
+    vm::SharedVar<std::uint64_t> transcript(v, 0);
+    vm::VmThread ping(v, [&] {
+      for (int i = 0; i < 10; ++i) {
+        vm::Monitor::Synchronized sync(m);
+        while (turn.get() != 0) m.wait();
+        transcript.set(transcript.get() * 10 + 1);
+        turn.set(1);
+        m.notify_all();
+      }
+    });
+    vm::VmThread pong(v, [&] {
+      for (int i = 0; i < 10; ++i) {
+        vm::Monitor::Synchronized sync(m);
+        while (turn.get() != 1) m.wait();
+        transcript.set(transcript.get() * 10 + 2);
+        turn.set(0);
+        m.notify_all();
+      }
+    });
+    ping.join();
+    pong.join();
+  });
+  auto rec = s.record(5);
+  auto rep = s.replay(rec, 6);
+  core::verify(rec, rep);
+}
+
+TEST(SingleVm, WaitWithTimeoutReplays) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::Monitor m(v);
+    // Nobody ever notifies: wait_for wakes by timeout, which is recorded as
+    // an ordinary reacquire and replays without waiting.
+    vm::Monitor::Synchronized sync(m);
+    m.wait_for(std::chrono::milliseconds(5));
+  });
+  auto rec = s.record(2);
+  auto start = std::chrono::steady_clock::now();
+  auto rep = s.replay(rec, 3);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  core::verify(rec, rep);
+  // Replay must not re-serve the timeout delay.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100);
+}
+
+TEST(SingleVm, MonitorMisuseThrows) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::Monitor m(v);
+    EXPECT_THROW(m.exit(), UsageError);
+    EXPECT_THROW(m.notify(), UsageError);
+    EXPECT_THROW(m.wait(), UsageError);
+    m.enter();
+    m.exit();
+  });
+  s.record(1);
+}
+
+TEST(SingleVm, SharedVarUpdateIsTwoEvents) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 10);
+    x.update([](std::uint64_t old) { return old * 2; });
+    if (v.critical_events() != 2) {
+      throw Error("update() must be a get+set pair");
+    }
+    if (x.unsafe_peek() != 20) throw Error("bad update result");
+  });
+  s.record(1);
+}
+
+TEST(SingleVm, PassthroughHasNoEvents) {
+  core::Session s;
+  s.add_vm("app", 1, /*djvm=*/false, [](Vm& v) {
+    vm::SharedVar<int> x(v, 0);
+    vm::Monitor m(v);
+    vm::VmThread t(v, [&] {
+      vm::Monitor::Synchronized sync(m);
+      x.set(x.get() + 1);
+    });
+    t.join();
+  });
+  auto run = s.run_native();
+  EXPECT_EQ(run.vm("app").critical_events, 0u);
+  EXPECT_FALSE(run.vm("app").log.has_value());
+}
+
+// Sweep: many seeds, the racy counter always replays to the recorded value.
+class RacySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RacySweep, CounterReplays) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](Vm& v) {
+    vm::SharedVar<std::uint64_t> counter(v, 0);
+    std::vector<vm::VmThread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back(v, [&counter] {
+        for (int i = 0; i < 60; ++i) counter.set(counter.get() + 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  auto rec = s.record(GetParam());
+  auto rep = s.replay(rec, GetParam() + 1000);
+  core::verify(rec, rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RacySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace djvu
