@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fdlock.dir/bench_fig3_fdlock.cc.o"
+  "CMakeFiles/bench_fig3_fdlock.dir/bench_fig3_fdlock.cc.o.d"
+  "bench_fig3_fdlock"
+  "bench_fig3_fdlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fdlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay_speed.dir/bench_replay_speed.cc.o"
+  "CMakeFiles/bench_replay_speed.dir/bench_replay_speed.cc.o.d"
+  "bench_replay_speed"
+  "bench_replay_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_closed.dir/bench_table1_closed.cc.o"
+  "CMakeFiles/bench_table1_closed.dir/bench_table1_closed.cc.o.d"
+  "bench_table1_closed"
+  "bench_table1_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

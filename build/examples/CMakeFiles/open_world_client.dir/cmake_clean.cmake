@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_world_client.dir/open_world_client.cpp.o"
+  "CMakeFiles/open_world_client.dir/open_world_client.cpp.o.d"
+  "open_world_client"
+  "open_world_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_world_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_debugger.dir/replay_debugger.cpp.o"
+  "CMakeFiles/replay_debugger.dir/replay_debugger.cpp.o.d"
+  "replay_debugger"
+  "replay_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

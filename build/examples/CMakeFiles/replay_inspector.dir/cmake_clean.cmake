@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_inspector.dir/replay_inspector.cpp.o"
+  "CMakeFiles/replay_inspector.dir/replay_inspector.cpp.o.d"
+  "replay_inspector"
+  "replay_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

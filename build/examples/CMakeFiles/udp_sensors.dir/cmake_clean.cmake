@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_sensors.dir/udp_sensors.cpp.o"
+  "CMakeFiles/udp_sensors.dir/udp_sensors.cpp.o.d"
+  "udp_sensors"
+  "udp_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

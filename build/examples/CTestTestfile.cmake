@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_bank "/root/repo/build/examples/distributed_bank")
+set_tests_properties(example_distributed_bank PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_udp_sensors "/root/repo/build/examples/udp_sensors")
+set_tests_properties(example_udp_sensors PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_open_world_client "/root/repo/build/examples/open_world_client")
+set_tests_properties(example_open_world_client PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replay_inspector "/root/repo/build/examples/replay_inspector")
+set_tests_properties(example_replay_inspector PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkpoint_resume "/root/repo/build/examples/checkpoint_resume")
+set_tests_properties(example_checkpoint_resume PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_diff "/root/repo/build/examples/trace_diff")
+set_tests_properties(example_trace_diff PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rpc_kv_store "/root/repo/build/examples/rpc_kv_store")
+set_tests_properties(example_rpc_kv_store PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replay_debugger "/root/repo/build/examples/replay_debugger")
+set_tests_properties(example_replay_debugger PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_baseline.dir/per_object.cc.o"
+  "CMakeFiles/djvu_baseline.dir/per_object.cc.o.d"
+  "libdjvu_baseline.a"
+  "libdjvu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_checkpoint.dir/checkpoint.cc.o"
+  "CMakeFiles/djvu_checkpoint.dir/checkpoint.cc.o.d"
+  "libdjvu_checkpoint.a"
+  "libdjvu_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdjvu_checkpoint.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_common.dir/bytes.cc.o"
+  "CMakeFiles/djvu_common.dir/bytes.cc.o.d"
+  "CMakeFiles/djvu_common.dir/crc32.cc.o"
+  "CMakeFiles/djvu_common.dir/crc32.cc.o.d"
+  "CMakeFiles/djvu_common.dir/log.cc.o"
+  "CMakeFiles/djvu_common.dir/log.cc.o.d"
+  "CMakeFiles/djvu_common.dir/strutil.cc.o"
+  "CMakeFiles/djvu_common.dir/strutil.cc.o.d"
+  "libdjvu_common.a"
+  "libdjvu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

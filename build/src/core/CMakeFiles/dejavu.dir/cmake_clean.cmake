@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu.dir/session.cc.o"
+  "CMakeFiles/dejavu.dir/session.cc.o.d"
+  "libdejavu.a"
+  "libdejavu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_net.dir/fault_model.cc.o"
+  "CMakeFiles/djvu_net.dir/fault_model.cc.o.d"
+  "CMakeFiles/djvu_net.dir/network.cc.o"
+  "CMakeFiles/djvu_net.dir/network.cc.o.d"
+  "CMakeFiles/djvu_net.dir/tcp.cc.o"
+  "CMakeFiles/djvu_net.dir/tcp.cc.o.d"
+  "CMakeFiles/djvu_net.dir/udp.cc.o"
+  "CMakeFiles/djvu_net.dir/udp.cc.o.d"
+  "libdjvu_net.a"
+  "libdjvu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdjvu_net.a"
+)

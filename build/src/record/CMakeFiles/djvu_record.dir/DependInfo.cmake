@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/log_stats.cc" "src/record/CMakeFiles/djvu_record.dir/log_stats.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/log_stats.cc.o.d"
+  "/root/repo/src/record/network_log.cc" "src/record/CMakeFiles/djvu_record.dir/network_log.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/network_log.cc.o.d"
+  "/root/repo/src/record/serializer.cc" "src/record/CMakeFiles/djvu_record.dir/serializer.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/serializer.cc.o.d"
+  "/root/repo/src/record/text_export.cc" "src/record/CMakeFiles/djvu_record.dir/text_export.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/text_export.cc.o.d"
+  "/root/repo/src/record/trace_io.cc" "src/record/CMakeFiles/djvu_record.dir/trace_io.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/trace_io.cc.o.d"
+  "/root/repo/src/record/validate.cc" "src/record/CMakeFiles/djvu_record.dir/validate.cc.o" "gcc" "src/record/CMakeFiles/djvu_record.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/djvu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/djvu_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

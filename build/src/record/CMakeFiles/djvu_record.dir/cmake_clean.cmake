@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_record.dir/log_stats.cc.o"
+  "CMakeFiles/djvu_record.dir/log_stats.cc.o.d"
+  "CMakeFiles/djvu_record.dir/network_log.cc.o"
+  "CMakeFiles/djvu_record.dir/network_log.cc.o.d"
+  "CMakeFiles/djvu_record.dir/serializer.cc.o"
+  "CMakeFiles/djvu_record.dir/serializer.cc.o.d"
+  "CMakeFiles/djvu_record.dir/text_export.cc.o"
+  "CMakeFiles/djvu_record.dir/text_export.cc.o.d"
+  "CMakeFiles/djvu_record.dir/trace_io.cc.o"
+  "CMakeFiles/djvu_record.dir/trace_io.cc.o.d"
+  "CMakeFiles/djvu_record.dir/validate.cc.o"
+  "CMakeFiles/djvu_record.dir/validate.cc.o.d"
+  "libdjvu_record.a"
+  "libdjvu_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/connection_pool.cc" "src/replay/CMakeFiles/djvu_replay.dir/connection_pool.cc.o" "gcc" "src/replay/CMakeFiles/djvu_replay.dir/connection_pool.cc.o.d"
+  "/root/repo/src/replay/datagram_frame.cc" "src/replay/CMakeFiles/djvu_replay.dir/datagram_frame.cc.o" "gcc" "src/replay/CMakeFiles/djvu_replay.dir/datagram_frame.cc.o.d"
+  "/root/repo/src/replay/datagram_replay.cc" "src/replay/CMakeFiles/djvu_replay.dir/datagram_replay.cc.o" "gcc" "src/replay/CMakeFiles/djvu_replay.dir/datagram_replay.cc.o.d"
+  "/root/repo/src/replay/reliable_udp.cc" "src/replay/CMakeFiles/djvu_replay.dir/reliable_udp.cc.o" "gcc" "src/replay/CMakeFiles/djvu_replay.dir/reliable_udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/djvu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/djvu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/djvu_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/djvu_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_replay.dir/connection_pool.cc.o"
+  "CMakeFiles/djvu_replay.dir/connection_pool.cc.o.d"
+  "CMakeFiles/djvu_replay.dir/datagram_frame.cc.o"
+  "CMakeFiles/djvu_replay.dir/datagram_frame.cc.o.d"
+  "CMakeFiles/djvu_replay.dir/datagram_replay.cc.o"
+  "CMakeFiles/djvu_replay.dir/datagram_replay.cc.o.d"
+  "CMakeFiles/djvu_replay.dir/reliable_udp.cc.o"
+  "CMakeFiles/djvu_replay.dir/reliable_udp.cc.o.d"
+  "libdjvu_replay.a"
+  "libdjvu_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

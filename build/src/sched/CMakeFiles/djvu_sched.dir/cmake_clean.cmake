@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_sched.dir/trace.cc.o"
+  "CMakeFiles/djvu_sched.dir/trace.cc.o.d"
+  "libdjvu_sched.a"
+  "libdjvu_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

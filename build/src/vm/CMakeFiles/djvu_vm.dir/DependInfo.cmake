@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/datagram_api.cc" "src/vm/CMakeFiles/djvu_vm.dir/datagram_api.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/datagram_api.cc.o.d"
+  "/root/repo/src/vm/monitor.cc" "src/vm/CMakeFiles/djvu_vm.dir/monitor.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/monitor.cc.o.d"
+  "/root/repo/src/vm/socket_api.cc" "src/vm/CMakeFiles/djvu_vm.dir/socket_api.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/socket_api.cc.o.d"
+  "/root/repo/src/vm/system_api.cc" "src/vm/CMakeFiles/djvu_vm.dir/system_api.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/system_api.cc.o.d"
+  "/root/repo/src/vm/thread.cc" "src/vm/CMakeFiles/djvu_vm.dir/thread.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/thread.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/djvu_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/djvu_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/djvu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/djvu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/djvu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/djvu_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/djvu_replay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djvu_vm.dir/datagram_api.cc.o"
+  "CMakeFiles/djvu_vm.dir/datagram_api.cc.o.d"
+  "CMakeFiles/djvu_vm.dir/monitor.cc.o"
+  "CMakeFiles/djvu_vm.dir/monitor.cc.o.d"
+  "CMakeFiles/djvu_vm.dir/socket_api.cc.o"
+  "CMakeFiles/djvu_vm.dir/socket_api.cc.o.d"
+  "CMakeFiles/djvu_vm.dir/system_api.cc.o"
+  "CMakeFiles/djvu_vm.dir/system_api.cc.o.d"
+  "CMakeFiles/djvu_vm.dir/thread.cc.o"
+  "CMakeFiles/djvu_vm.dir/thread.cc.o.d"
+  "CMakeFiles/djvu_vm.dir/vm.cc.o"
+  "CMakeFiles/djvu_vm.dir/vm.cc.o.d"
+  "libdjvu_vm.a"
+  "libdjvu_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djvu_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

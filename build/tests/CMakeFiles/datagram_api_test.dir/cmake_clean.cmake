@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagram_api_test.dir/datagram_api_test.cc.o"
+  "CMakeFiles/datagram_api_test.dir/datagram_api_test.cc.o.d"
+  "datagram_api_test"
+  "datagram_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagram_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

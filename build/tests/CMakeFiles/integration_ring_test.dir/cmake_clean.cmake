@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_ring_test.dir/integration_ring_test.cc.o"
+  "CMakeFiles/integration_ring_test.dir/integration_ring_test.cc.o.d"
+  "integration_ring_test"
+  "integration_ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

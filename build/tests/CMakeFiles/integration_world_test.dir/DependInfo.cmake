@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_world_test.cc" "tests/CMakeFiles/integration_world_test.dir/integration_world_test.cc.o" "gcc" "tests/CMakeFiles/integration_world_test.dir/integration_world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dejavu.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/djvu_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/djvu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/djvu_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/djvu_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/djvu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/djvu_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/djvu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/djvu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pipe_test.dir/net_pipe_test.cc.o"
+  "CMakeFiles/net_pipe_test.dir/net_pipe_test.cc.o.d"
+  "net_pipe_test"
+  "net_pipe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_udp_test.dir/net_udp_test.cc.o"
+  "CMakeFiles/net_udp_test.dir/net_udp_test.cc.o.d"
+  "net_udp_test"
+  "net_udp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_udp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_world_test.dir/property_world_test.cc.o"
+  "CMakeFiles/property_world_test.dir/property_world_test.cc.o.d"
+  "property_world_test"
+  "property_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

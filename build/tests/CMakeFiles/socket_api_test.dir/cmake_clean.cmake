@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_api_test.dir/socket_api_test.cc.o"
+  "CMakeFiles/socket_api_test.dir/socket_api_test.cc.o.d"
+  "socket_api_test"
+  "socket_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_api_test.dir/system_api_test.cc.o"
+  "CMakeFiles/system_api_test.dir/system_api_test.cc.o.d"
+  "system_api_test"
+  "system_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_chaos_test.dir/timeout_chaos_test.cc.o"
+  "CMakeFiles/timeout_chaos_test.dir/timeout_chaos_test.cc.o.d"
+  "timeout_chaos_test"
+  "timeout_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_core_test.dir/vm_core_test.cc.o"
+  "CMakeFiles/vm_core_test.dir/vm_core_test.cc.o.d"
+  "vm_core_test"
+  "vm_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
