@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
 #include "core/session.h"
 #include "net/network.h"
 #include "record/serializer.h"
@@ -30,6 +33,43 @@ void BM_GcCriticalSection(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_GcCriticalSection);
+
+// Replay turn-taking with T threads round-robinning turns — the worst case
+// for a broadcast wakeup design (every tick would wake all T-1 parked
+// threads).  The reported counters show the targeted design's O(1) bound:
+// wakeups/tick stays ~1 no matter how many threads are parked.
+void BM_ReplayTurnRoundRobin(benchmark::State& state) {
+  const int kThreads = static_cast<int>(state.range(0));
+  constexpr int kRounds = 200;
+  std::uint64_t delivered = 0, spurious = 0, ticks = 0, parked = 0;
+  for (auto _ : state) {
+    sched::GlobalCounter c;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(kThreads));
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c, t, kThreads] {
+        for (int r = 0; r < kRounds; ++r) {
+          c.await(static_cast<GlobalCount>(r * kThreads + t));
+          c.tick();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const sched::SchedStats s = c.stats();
+    delivered += s.wakeups_delivered;
+    spurious += s.wakeups_spurious;
+    ticks += s.ticks;
+    parked = std::max(parked, s.max_parked_waiters);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ticks));
+  state.counters["wakeups_per_tick"] =
+      ticks ? static_cast<double>(delivered + spurious) /
+                  static_cast<double>(ticks)
+            : 0;
+  state.counters["spurious"] = static_cast<double>(spurious);
+  state.counters["max_parked"] = static_cast<double>(parked);
+}
+BENCHMARK(BM_ReplayTurnRoundRobin)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_IntervalRecorderEvent(benchmark::State& state) {
   sched::IntervalRecorder r;

@@ -5,9 +5,12 @@
 // tool's debugging loop and motivates the checkpointing future work this
 // repo implements in src/checkpoint.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/workload.h"
+#include "sched/sched_stats.h"
 
 int main() {
   using namespace djvu;
@@ -16,6 +19,12 @@ int main() {
   std::printf("Replay-speed ablation: native vs record vs replay\n\n");
   std::printf("%9s %11s %11s %11s %14s %14s\n", "#threads", "native(s)",
               "record(s)", "replay(s)", "rec ovhd(%)", "rep ovhd(%)");
+
+  struct SchedRow {
+    int threads;
+    sched::SchedStats sum;
+  };
+  std::vector<SchedRow> sched_rows;
 
   for (int threads : {2, 4, 8, 16}) {
     WorkloadParams p;
@@ -36,15 +45,48 @@ int main() {
         rec = std::move(r);
       }
     }
+    SchedRow row{threads, {}};
     for (int i = 0; i < 2; ++i) {
       auto r = s.replay(rec, 900 + i);
       core::verify(rec, r);
-      replayed = std::min(replayed, r.wall_seconds);
+      if (r.wall_seconds < replayed) {
+        replayed = r.wall_seconds;
+        row.sum = {};
+        for (const auto& info : r.vms) {
+          const sched::SchedStats& vs = info.sched;
+          row.sum.ticks += vs.ticks;
+          row.sum.sections += vs.sections;
+          row.sum.waits_fast += vs.waits_fast;
+          row.sum.waits_parked += vs.waits_parked;
+          row.sum.wakeups_delivered += vs.wakeups_delivered;
+          row.sum.wakeups_spurious += vs.wakeups_spurious;
+          row.sum.stall_detections += vs.stall_detections;
+          row.sum.max_parked_waiters =
+              std::max(row.sum.max_parked_waiters, vs.max_parked_waiters);
+        }
+      }
     }
+    sched_rows.push_back(row);
     std::printf("%9d %11.4f %11.4f %11.4f %13.1f%% %13.1f%%\n", threads,
                 native, recorded, replayed,
                 100.0 * (recorded - native) / native,
                 100.0 * (replayed - native) / native);
+  }
+
+  // Scheduler self-measurements of the best replay run, summed over VMs.
+  // "wakeups/tick" is the thundering-herd metric: targeted wakeups keep it
+  // O(1) per critical event no matter how many threads wait for turns.
+  std::printf("\nReplay scheduler counters (best replay run per row)\n\n");
+  std::printf("%9s %11s %12s %12s %10s %13s %11s\n", "#threads", "ticks",
+              "parked", "delivered", "spurious", "wakeups/tick", "max parked");
+  for (const SchedRow& row : sched_rows) {
+    std::printf("%9d %11llu %12llu %12llu %10llu %13.3f %11llu\n", row.threads,
+                static_cast<unsigned long long>(row.sum.ticks),
+                static_cast<unsigned long long>(row.sum.waits_parked),
+                static_cast<unsigned long long>(row.sum.wakeups_delivered),
+                static_cast<unsigned long long>(row.sum.wakeups_spurious),
+                row.sum.wakeups_per_tick(),
+                static_cast<unsigned long long>(row.sum.max_parked_waiters));
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "core/session.h"
 #include "record/serializer.h"
 #include "record/text_export.h"
+#include "sched/sched_stats.h"
 #include "tests/test_util.h"
 #include "vm/socket_api.h"
 #include "vm/thread.h"
@@ -82,5 +83,7 @@ int main(int argc, char** argv) {
   auto rep = s2.replay(rec, 99);
   core::verify(rec, rep);
   std::printf("(bundles verified: replay reproduces the recorded traces)\n");
+  std::printf("\nserver replay scheduler counters:\n%s",
+              sched::to_text(rep.vm("server").sched).c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "baseline/per_object.h"
 
 #include <algorithm>
+#include <condition_variable>
 
 #include "common/crc32.h"
 
@@ -142,6 +143,26 @@ PerObjectLog LvHost::finish_record() {
   return log;
 }
 
+/// One parked thread's slot; lives on the waiting thread's stack.
+struct LvObject::Waiter {
+  ThreadNum thread = 0;
+  std::condition_variable cv;
+  Waiter* next = nullptr;
+};
+
+void LvObject::notify_next_locked() {
+  if (pending_.empty()) return;
+  const ThreadNum next = pending_.front().thread;
+  for (Waiter* w = waiters_; w != nullptr; w = w->next) {
+    if (w->thread == next) {
+      w->cv.notify_one();
+      return;
+    }
+  }
+  // The next accessor is not parked: it will take the fast path when it
+  // arrives.  Nobody else is woken — that is the point.
+}
+
 LvObject::LvObject(LvHost& host) : host_(host) {
   id_ = host_.register_object(this);
   if (host_.mode() == Mode::kReplay) {
@@ -179,18 +200,48 @@ void LvObject::access(const std::function<void()>& body) {
     }
     case Mode::kReplay: {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (!cv_.wait_for(lock, host_.stall_timeout_, [&] {
-            return !pending_.empty() && pending_.front().thread == self;
-          })) {
-        throw ReplayDivergenceError(
-            pending_.empty()
-                ? "object accessed more times than recorded"
-                : "per-object replay stalled (schedule mismatch)");
+      if (pending_.empty()) {
+        throw ReplayDivergenceError("object accessed more times than recorded");
+      }
+      if (pending_.front().thread != self) {
+        // Park on our own slot; only the access that makes our run current
+        // wakes us (targeted, no broadcast).
+        Waiter w;
+        w.thread = self;
+        w.next = waiters_;
+        waiters_ = &w;
+        const auto deadline =
+            std::chrono::steady_clock::now() + host_.stall_timeout_;
+        bool ok = true;
+        for (;;) {
+          if (pending_.empty()) {
+            ok = false;
+            break;
+          }
+          if (pending_.front().thread == self) break;
+          if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+              !(!pending_.empty() && pending_.front().thread == self)) {
+            ok = false;
+            break;
+          }
+        }
+        for (Waiter** p = &waiters_; *p != nullptr; p = &(*p)->next) {
+          if (*p == &w) {
+            *p = w.next;
+            break;
+          }
+        }
+        if (!ok) {
+          throw ReplayDivergenceError(
+              pending_.empty()
+                  ? "object accessed more times than recorded"
+                  : "per-object replay stalled (schedule mismatch)");
+        }
       }
       body();
       if (--pending_.front().count == 0) {
         pending_.pop_front();
-        cv_.notify_all();
+        notify_next_locked();
       }
       return;
     }

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -131,6 +130,12 @@ class LvObject {
   /// Runs `body` as one recorded access of this object: appends to the
   /// run-length log (record), waits for this thread's recorded per-object
   /// turn (replay), or just runs it (passthrough).
+  ///
+  /// Replay turn-waiting uses the same targeted-wakeup discipline as
+  /// sched::GlobalCounter: each parked thread owns a waiter slot with its
+  /// own condition_variable; finishing a recorded run notifies exactly the
+  /// thread whose run is next (never a broadcast), and waits are
+  /// deadline-bounded by the host's stall timeout.
   void access(const std::function<void()>& body);
 
   /// Record-side result.
@@ -140,16 +145,23 @@ class LvObject {
   void load_log(ObjectLog log);
 
  private:
+  struct Waiter;
+
+  /// Notifies the parked waiter (if any) whose recorded run is now at the
+  /// front.  Caller holds mutex_.
+  void notify_next_locked();
+
   LvHost& host_;
   std::uint32_t id_;
   std::mutex mutex_;
-  std::condition_variable cv_;
   // Record: run-length accumulation.
   ObjectLog log_;
   bool open_ = false;
   ThreadNum last_thread_ = 0;
-  // Replay: cursor over the recorded runs.
+  // Replay: cursor over the recorded runs + parked waiters (slots live on
+  // the waiting threads' stacks), both guarded by mutex_.
   std::deque<AccessRun> pending_;
+  Waiter* waiters_ = nullptr;
 };
 
 /// A shared variable under the baseline scheme.

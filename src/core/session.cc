@@ -169,6 +169,7 @@ RunResult Session::run(vm::Mode djvm_mode,
     info.djvm = r.spec->djvm && djvm_mode != vm::Mode::kPassthrough;
     info.critical_events = r.machine->critical_events();
     info.network_events = r.machine->network_events();
+    info.sched = r.machine->sched_stats();
     info.wall_seconds = r.wall_seconds;
     if (config_.keep_trace) {
       info.trace = r.machine->trace().sorted();

@@ -65,6 +65,11 @@ struct VmRunInfo {
   GlobalCount critical_events = 0;
   std::uint64_t network_events = 0;
 
+  /// Scheduler self-measurements for this VM's run (ticks, turn waits,
+  /// targeted wakeups, stall detections — see sched/sched_stats.h).  All
+  /// zero for plain (passthrough) VMs, which never touch the counter.
+  sched::SchedStats sched{};
+
   /// Wall-clock seconds of this VM's main (its component's execution time;
   /// the per-component "rec ovhd" rows divide record by native per VM).
   double wall_seconds = 0;

@@ -61,6 +61,13 @@ LogStats compute_stats(const VmLog& log) {
   return s;
 }
 
+LogStats compute_stats(const VmLog& log, const sched::SchedStats& sched) {
+  LogStats s = compute_stats(log);
+  s.has_sched = true;
+  s.sched = sched;
+  return s;
+}
+
 std::string to_text(const LogStats& s) {
   std::string out;
   out += str_format(
@@ -83,6 +90,7 @@ std::string to_text(const LogStats& s) {
   out += str_format("bytes: %s total serialized, %s schedule encoding\n",
                     human_bytes(s.serialized_bytes).c_str(),
                     human_bytes(s.schedule_bytes).c_str());
+  if (s.has_sched) out += sched::to_text(s.sched);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "record/vm_log.h"
+#include "sched/sched_stats.h"
 
 namespace djvu::record {
 
@@ -39,10 +40,19 @@ struct LogStats {
   // Byte budget.
   std::size_t serialized_bytes = 0;
   std::size_t schedule_bytes = 0;  // the delta-varint interval encoding
+
+  // Scheduler self-measurements of the run that produced (or replayed)
+  // the log.  Not part of the log bundle itself — supplied by the caller
+  // from Vm::sched_stats() / VmRunInfo::sched when available.
+  bool has_sched = false;
+  sched::SchedStats sched{};
 };
 
 /// Computes statistics for one log bundle.
 LogStats compute_stats(const VmLog& log);
+
+/// Same, attaching a scheduler snapshot from the run (rendered by to_text).
+LogStats compute_stats(const VmLog& log, const sched::SchedStats& sched);
 
 /// Multi-line human-readable rendering.
 std::string to_text(const LogStats& stats);

@@ -11,10 +11,17 @@ ConnectionPool::Conn ConnectionPool::await(const ConnectionId& want,
       Conn conn = std::move(it->second.front());
       it->second.pop_front();
       if (it->second.empty()) buckets_.erase(it);
+      // Fetcher handoff: leaving with a connection while nobody is
+      // fetching and others are parked must promote one of them to
+      // fetcher — re-broadcast so they re-check rather than relying on a
+      // wakeup that may have raced with their park.
+      if (!fetch_in_progress_ && waiters_ > 0) cv_.notify_all();
       return conn;
     }
     if (fetch_in_progress_) {
+      ++waiters_;
       cv_.wait(lock);
+      --waiters_;
       continue;
     }
     fetch_in_progress_ = true;

@@ -57,6 +57,10 @@ class ConnectionPool {
   // disambiguates).
   std::map<ConnectionId, std::deque<Conn>> buckets_;
   bool fetch_in_progress_ = false;
+  // Parked waiters (threads blocked in await while another thread fetches).
+  // Lets the bucket-hit exit path hand the fetcher role to a parked waiter
+  // instead of leaving the pool idle with threads still waiting.
+  std::size_t waiters_ = 0;
 };
 
 }  // namespace djvu::replay

@@ -13,128 +13,170 @@
 // Replay mode: `await(g)` blocks a thread until the counter reaches its next
 // event's recorded value; `tick()` releases the next event in the total
 // order.
+//
+// Turn-waiting uses TARGETED wakeups: each parked thread owns a waiter slot
+// (its own condition_variable keyed by its target value); a tick computes
+// the new value and notifies only the thread whose turn arrived.  The value
+// is an atomic, so `value()`, the await fast path, and replay-mode `tick()`
+// with no waiters parked never take the mutex.  Concurrency contract:
+// with_section() calls are mutually exclusive with each other (the section
+// mutex doubles as the data lock for SharedVar et al.) but NOT with tick();
+// the two are never mixed concurrently — with_section() is the record-mode
+// event path, tick() the replay-mode one, where the turn protocol already
+// serializes tickers.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <utility>
 
 #include "common/errors.h"
 #include "common/ids.h"
+#include "sched/sched_stats.h"
 
 namespace djvu::sched {
 
-/// Thread-safe global counter with turn-waiting.
+/// Thread-safe global counter with targeted-wakeup turn-waiting.
 class GlobalCounter {
  public:
-  GlobalCounter() = default;
+  /// `stall_timeout` is the replay stall detector's window: a parked waiter
+  /// that sees no counter progress for this long while every registered
+  /// runner is parked aborts with ReplayDivergenceError (a mismatched log
+  /// would otherwise deadlock the VM).  While at least one runner is off
+  /// doing real work (e.g. a slow recorded read), waiters keep waiting up
+  /// to kStallGraceFactor windows before giving up — so legitimate slowness
+  /// elsewhere no longer trips the detector at the first window.
+  explicit GlobalCounter(std::chrono::milliseconds stall_timeout =
+                             std::chrono::milliseconds(10000));
+  ~GlobalCounter();
   GlobalCounter(const GlobalCounter&) = delete;
   GlobalCounter& operator=(const GlobalCounter&) = delete;
 
+  /// Backstop multiplier: with runners active, a waiter gives up after
+  /// stall_timeout * kStallGraceFactor without progress (threads wedged in
+  /// non-counter blockage — e.g. a mismatched connection pool — must still
+  /// surface as an error, just not as eagerly as a certain deadlock).
+  static constexpr int kStallGraceFactor = 8;
+
   /// Current value (== number of critical events executed so far).
-  GlobalCount value() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return value_;
-  }
+  /// Lock-free.
+  GlobalCount value() const { return value_.load(std::memory_order_seq_cst); }
 
   /// Marks one critical event: atomically assigns the current value to the
-  /// event and increments.  Returns the assigned value.
-  GlobalCount tick() {
-    GlobalCount v;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      v = value_++;
-    }
-    cv_.notify_all();
-    return v;
-  }
+  /// event and increments.  Returns the assigned value.  Lock-free unless a
+  /// waiter is parked; then the one waiter whose turn arrived is notified.
+  GlobalCount tick();
 
   /// GC-critical section: runs `f` with the counter lock held and the event
   /// numbered `value()`, then increments — counter update and event
   /// execution as a single atomic action (record mode, non-blocking events).
-  /// Returns the pair (assigned counter value, f's result) — or just the
-  /// value when f returns void.
   template <typename F>
   GlobalCount with_section(F&& f) {
     GlobalCount v;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      v = value_;
+      v = value_.load(std::memory_order_relaxed);
       std::forward<F>(f)(v);
-      ++value_;
+      publish_increment_locked(v + 1);
     }
-    cv_.notify_all();
+    sections_.fetch_add(1, std::memory_order_relaxed);
     return v;
   }
 
   /// Jumps the counter forward to `target` (replay-from-checkpoint: the
   /// skipped prefix of events is accounted for in one step).  Throws
-  /// UsageError when the counter is already past `target`.
-  void advance_to(GlobalCount target) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (value_ > target) {
-        throw UsageError("advance_to moving the global counter backwards");
-      }
-      value_ = target;
-    }
-    cv_.notify_all();
-  }
+  /// UsageError when the counter is already past `target` — or when the
+  /// jump would skip over a parked waiter's turn (resuming past events
+  /// that live threads still intend to execute is a checkpoint/skip usage
+  /// error, not a schedule divergence; the error names the skipped target).
+  void advance_to(GlobalCount target);
 
   /// Blocks until the counter equals `target` (replay turn-waiting).
   /// Throws ReplayDivergenceError if the counter is already past `target`
   /// (an earlier event over-ticked — the log and the execution disagree),
-  /// if the counter has been poisoned, or if it stalls for `stall_timeout`
-  /// (a tampered/mismatched log can leave every thread waiting for a value
+  /// if the counter has been poisoned, or if the stall detector fires (a
+  /// tampered/mismatched log can leave every thread waiting for a value
   /// nobody will produce; the detector turns that deadlock into a
-  /// diagnosable error).
-  void await(GlobalCount target,
-             std::chrono::milliseconds stall_timeout =
-                 std::chrono::milliseconds(10000)) const {
-    std::unique_lock<std::mutex> lock(mutex_);
-    GlobalCount last_seen = value_;
-    auto last_change = std::chrono::steady_clock::now();
-    for (;;) {
-      if (poisoned_) {
-        throw ReplayDivergenceError(
-            "replay aborted: another thread diverged (counter poisoned)");
-      }
-      if (value_ >= target) break;
-      cv_.wait_for(lock, std::chrono::milliseconds(200));
-      auto now = std::chrono::steady_clock::now();
-      if (value_ != last_seen) {
-        last_seen = value_;
-        last_change = now;
-      } else if (now - last_change > stall_timeout) {
-        throw ReplayDivergenceError(
-            "global counter stalled at " + std::to_string(value_) +
-            " while waiting for " + std::to_string(target) +
-            ": the schedule log does not match this execution");
-      }
-    }
-    if (value_ > target) {
-      throw ReplayDivergenceError(
-          "global counter passed " + std::to_string(target) +
-          " (now " + std::to_string(value_) + "): schedule divergence");
-    }
-  }
+  /// diagnosable error).  The stall window is the constructor's
+  /// `stall_timeout`, counted only while at least one waiter is parked and
+  /// held off (up to kStallGraceFactor windows) while non-parked runners
+  /// could still produce progress.
+  void await(GlobalCount target);
 
   /// Marks the counter poisoned: every current and future await throws.
   /// Called when any thread of the VM fails, so sibling threads unwind
   /// instead of waiting for turns that will never come.
-  void poison() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      poisoned_ = true;
-    }
-    cv_.notify_all();
-  }
+  void poison();
+
+  /// Runner registry for the stall detector: a "runner" is a thread that
+  /// can potentially tick the counter (a bound application thread that is
+  /// not blocked outside the scheduler, e.g. in std::thread::join).  When
+  /// every runner is parked in await(), no progress is possible and a
+  /// stall is certain after one window; otherwise waiters extend.  A
+  /// counter with no registered runners (unit tests, benches) treats every
+  /// quiet window as a stall, matching the historical behaviour.
+  void runner_began();
+  void runner_ended();
+
+  /// Self-measurement snapshot (lock-free, monotone between calls).
+  SchedStats stats() const;
+
+  /// The configured stall window.
+  std::chrono::milliseconds stall_timeout() const { return stall_timeout_; }
 
  private:
+  struct Waiter;
+
+  /// Stores the new value and, when waiters are parked, records progress
+  /// and releases those whose turn arrived.  Caller holds mutex_.
+  void publish_increment_locked(GlobalCount new_value);
+
+  /// Mutex-taking tail of tick(): record progress, release the waiter whose
+  /// turn arrived.
+  void notify_waiters_slow(GlobalCount new_value);
+
+  /// Releases (and notifies) every parked waiter whose target the counter
+  /// has reached or passed.  Caller holds mutex_.
+  void release_reached_locked(GlobalCount new_value);
+
+  [[noreturn]] void throw_poisoned() const;
+
+  std::atomic<GlobalCount> value_{0};
+  std::atomic<bool> poisoned_{false};
+
+  /// Number of currently parked waiters.  seq_cst stores/loads pair with
+  /// value_'s to close the register-vs-tick race (Dekker): a waiter
+  /// publishes its slot then re-reads the value; a ticker publishes the
+  /// value then reads the parked count — at least one side always sees the
+  /// other.
+  std::atomic<std::uint64_t> parked_{0};
+
+  std::atomic<std::uint64_t> runners_{0};
+
+  // Stats (relaxed; exactness across threads is not required).
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> sections_{0};
+  std::atomic<std::uint64_t> waits_fast_{0};
+  std::atomic<std::uint64_t> waits_parked_{0};
+  std::atomic<std::uint64_t> wakeups_delivered_{0};
+  std::atomic<std::uint64_t> wakeups_spurious_{0};
+  std::atomic<std::uint64_t> stall_detections_{0};
+  std::atomic<std::uint64_t> max_parked_waiters_{0};
+  std::atomic<std::uint64_t> total_wait_micros_{0};
+  std::atomic<std::uint64_t> max_wait_micros_{0};
+
+  const std::chrono::milliseconds stall_timeout_;
+
   mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
-  GlobalCount value_ = 0;
-  bool poisoned_ = false;
+  /// Intrusive list of parked waiters (slots live on the waiting threads'
+  /// stacks).  Guarded by mutex_.
+  Waiter* waiters_ = nullptr;
+  /// Last time the counter made progress while waiters were parked; the
+  /// stall clock's anchor.  Reset when the parked set becomes non-empty so
+  /// stall time only accumulates while someone is actually parked.
+  /// Guarded by mutex_.
+  std::chrono::steady_clock::time_point last_progress_{};
 };
 
 }  // namespace djvu::sched

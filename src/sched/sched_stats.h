@@ -1,0 +1,70 @@
+// Scheduler observability: counters the GlobalCounter maintains about its
+// own hot path, so the cost of §2.2's ordering primitive is measurable
+// instead of argued about (cf. "Distributed Order Recording Techniques for
+// Efficient Record-and-Replay of Multi-threaded Programs": instrument the
+// order-recording path itself).
+//
+// The headline metric is wakeups per critical event: a broadcast design
+// wakes every parked waiter on every tick (O(waiters)); the targeted design
+// wakes exactly the turn-holder (O(1)), which `wakeups_delivered` vs
+// `wakeups_spurious` makes visible.  `bench_micro` and `bench_replay_speed`
+// print these; `record::to_text(LogStats)` renders them next to the log
+// shape when a snapshot is supplied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace djvu::sched {
+
+/// A point-in-time snapshot of one GlobalCounter's self-measurements.
+/// Plain values — taking a snapshot never blocks the scheduler.
+struct SchedStats {
+  /// Counter increments via tick() (replay-mode event completions).
+  std::uint64_t ticks = 0;
+
+  /// GC-critical sections executed via with_section() (record-mode events).
+  std::uint64_t sections = 0;
+
+  /// await() calls satisfied on the lock-free fast path (the counter had
+  /// already reached the target — the common case for the turn-holder).
+  std::uint64_t waits_fast = 0;
+
+  /// await() calls that actually parked on a waiter slot.
+  std::uint64_t waits_parked = 0;
+
+  /// Targeted wakeups delivered to the waiter whose turn arrived (also
+  /// counts waiters released to report divergence/poison — every release
+  /// of a parked waiter is one delivery).
+  std::uint64_t wakeups_delivered = 0;
+
+  /// Parked waiters that woke without their turn having arrived (OS-level
+  /// spurious wakeups; stays ~0 under the targeted design, O(ticks ×
+  /// waiters) under a broadcast design).
+  std::uint64_t wakeups_spurious = 0;
+
+  /// Stall-detector firings (each one aborts a replay with
+  /// ReplayDivergenceError).
+  std::uint64_t stall_detections = 0;
+
+  /// High-water mark of simultaneously parked waiters.
+  std::uint64_t max_parked_waiters = 0;
+
+  /// Total and maximum time waiters spent parked.
+  std::uint64_t total_wait_micros = 0;
+  std::uint64_t max_wait_micros = 0;
+
+  /// Wakeups (delivered + spurious) per counter increment — the O(1) vs
+  /// O(waiters) acceptance metric.  0 when nothing ever ticked.
+  double wakeups_per_tick() const {
+    const std::uint64_t t = ticks + sections;
+    return t == 0 ? 0.0
+                  : static_cast<double>(wakeups_delivered + wakeups_spurious) /
+                        static_cast<double>(t);
+  }
+};
+
+/// Multi-line human-readable rendering.
+std::string to_text(const SchedStats& s);
+
+}  // namespace djvu::sched

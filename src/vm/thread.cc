@@ -3,7 +3,7 @@
 namespace djvu::vm {
 
 VmThread::VmThread(Vm& vm, std::function<void()> fn)
-    : error_(std::make_shared<std::exception_ptr>()) {
+    : vm_(&vm), error_(std::make_shared<std::exception_ptr>()) {
   // The spawn is a critical event of the *parent*; registration happens
   // inside the event body so creation order is part of the schedule.
   sched::ThreadState* child_state = nullptr;
@@ -17,6 +17,7 @@ VmThread::VmThread(Vm& vm, std::function<void()> fn)
   Vm* vm_ptr = &vm;
   thread_ = std::thread([vm_ptr, child_state, error, fn = std::move(fn)] {
     Vm::bind_current(vm_ptr, child_state);
+    vm_ptr->runner_began();
     try {
       fn();
     } catch (...) {
@@ -25,16 +26,26 @@ VmThread::VmThread(Vm& vm, std::function<void()> fn)
       // unwinds and this error surfaces through join().
       vm_ptr->poison();
     }
+    vm_ptr->runner_ended();
     Vm::bind_current(nullptr, nullptr);
   });
 }
 
+void VmThread::join_deregistered() {
+  // The joiner is parked outside the scheduler: it cannot tick the
+  // counter, so the stall detector must not count it as a potential
+  // producer of progress.
+  if (vm_ != nullptr) vm_->runner_ended();
+  thread_.join();
+  if (vm_ != nullptr) vm_->runner_began();
+}
+
 VmThread::~VmThread() {
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) join_deregistered();
 }
 
 void VmThread::join() {
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) join_deregistered();
   if (error_ && *error_) {
     std::exception_ptr e = *error_;
     *error_ = nullptr;

@@ -32,7 +32,11 @@ class VmThread {
   ~VmThread();
 
   /// Waits for completion; re-throws any exception the thread body raised
-  /// (so ReplayDivergenceError etc. surface in tests).
+  /// (so ReplayDivergenceError etc. surface in tests).  While blocked here
+  /// the calling thread is deregistered from the stall detector's runner
+  /// registry — a joiner cannot tick the counter, and pretending otherwise
+  /// would make the detector wait out its full grace backstop on every
+  /// genuine deadlock.
   void join();
 
   /// The thread's creation-order number.
@@ -42,7 +46,11 @@ class VmThread {
   bool joinable() const { return thread_.joinable(); }
 
  private:
+  /// Joins with the joining thread deregistered as a runner.
+  void join_deregistered();
+
   std::thread thread_;
+  Vm* vm_ = nullptr;
   ThreadNum num_ = 0;
   std::shared_ptr<std::exception_ptr> error_;
 };

@@ -23,7 +23,8 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
        std::shared_ptr<const record::VmLog> replay_log)
     : network_(std::move(network)),
       config_(std::move(config)),
-      replay_log_(std::move(replay_log)) {
+      replay_log_(std::move(replay_log)),
+      counter_(config_.stall_timeout) {
   if ((config_.mode == Mode::kReplay) != (replay_log_ != nullptr)) {
     throw UsageError("replay log must be supplied exactly in replay mode");
   }
@@ -71,6 +72,7 @@ void Vm::attach_main() {
     }
   }
   t_binding = {this, &state};
+  counter_.runner_began();
 }
 
 void Vm::detach_current() {
@@ -78,6 +80,7 @@ void Vm::detach_current() {
     throw UsageError("detach_current: thread not bound to this Vm");
   }
   t_binding = {};
+  counter_.runner_ended();
 }
 
 sched::ThreadState& Vm::current_state() {
@@ -229,7 +232,7 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
     case Mode::kReplay: {
       sched::ThreadState& state = current_state();
       GlobalCount g = state.cursor.peek();
-      counter_.await(g, config_.stall_timeout);
+      counter_.await(g);
       std::exception_ptr raised;
       try {
         if (body) aux = body(g);
@@ -259,7 +262,7 @@ GlobalCount Vm::replay_turn_begin() {
   }
   sched::ThreadState& state = current_state();
   GlobalCount g = state.cursor.peek();
-  counter_.await(g, config_.stall_timeout);
+  counter_.await(g);
   return g;
 }
 

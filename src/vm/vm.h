@@ -68,9 +68,16 @@ struct VmConfig {
   /// measurements (tracing is not part of the paper's record cost).
   bool keep_trace = true;
 
-  /// Replay stall detector: a turn-wait that sees no counter progress for
-  /// this long aborts with ReplayDivergenceError (a mismatched log can
-  /// otherwise deadlock the whole VM).  Tests shrink it.
+  /// Replay stall detector window: a turn-wait that sees no counter
+  /// progress for this long — while every bound thread is itself parked on
+  /// a turn, so progress is impossible — aborts with
+  /// ReplayDivergenceError (a mismatched log can otherwise deadlock the
+  /// whole VM).  While some thread is off doing real work (e.g. a slow
+  /// recorded read keeps the counter unchanged), waiters hold off for up to
+  /// sched::GlobalCounter::kStallGraceFactor windows before giving up.
+  /// This is the single knob for the whole VM: the counter is constructed
+  /// with it, so no await() call site can fall back to a hardcoded
+  /// default.  Tests shrink it.
   std::chrono::milliseconds stall_timeout{10000};
 
   /// Schedule fuzzing ("chaos mode", cf. rr): during record, each critical
@@ -140,6 +147,10 @@ class Vm {
 
   /// Critical events executed so far (the global counter).
   GlobalCount critical_events() const { return counter_.value(); }
+
+  /// Scheduler self-measurements (ticks, waits, targeted wakeups, stall
+  /// detections — see sched/sched_stats.h).  Snapshot; never blocks.
+  sched::SchedStats sched_stats() const { return counter_.stats(); }
 
   /// Network critical events executed so far ("#nw events").
   std::uint64_t network_events() const {
@@ -218,6 +229,13 @@ class Vm {
 
   /// Binds/unbinds the calling OS thread (VmThread internals).
   static void bind_current(Vm* vm, sched::ThreadState* state);
+
+  /// Stall-detector runner registry (sched::GlobalCounter::runner_*):
+  /// attach/bind marks a thread as a runner; a thread blocked outside the
+  /// scheduler (VmThread::join) deregisters for the duration so the
+  /// detector knows whether counter progress is still possible.
+  void runner_began() { counter_.runner_began(); }
+  void runner_ended() { counter_.runner_ended(); }
 
   /// Record-mode chaos: maybe yield/sleep before an event (see
   /// VmConfig::chaos_prob).

@@ -109,6 +109,50 @@ TEST(ConnectionPool, FetchExceptionPropagates) {
       Error);
 }
 
+// Regression test for the fetcher-exception handoff: when the thread
+// holding the fetcher role throws (e.g. a transient accept failure), a
+// parked waiter must take the role over instead of waiting forever, and
+// every recorded accept must still complete.
+TEST(ConnectionPool, FetchExceptionHandsOffToOtherWaiter) {
+  net::Network net;
+  ConnectionPool pool;
+  std::mutex m;
+  int calls = 0;
+  auto fetch = [&]() -> std::pair<ConnectionId, ConnectionPool::Conn> {
+    std::unique_lock<std::mutex> lock(m);
+    const int n = calls++;
+    if (n == 0) {
+      // Give the other thread time to park on the pool before failing, so
+      // the failure exercises the handoff (not just the early-exit) path.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      throw Error("transient accept failure");
+    }
+    ConnectionId id{1, 1, static_cast<EventNum>(n - 1)};
+    return {id, dummy_conn(net, 30 + n)};
+  };
+  std::atomic<int> got{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      ConnectionId want{1, 1, static_cast<EventNum>(i)};
+      for (;;) {
+        try {
+          if (pool.await(want, fetch) != nullptr) ++got;
+          return;
+        } catch (const Error&) {
+          ++failures;  // this caller's own fetch raised: retry the accept
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(got.load(), 2);
+  EXPECT_EQ(failures.load(), 1);  // only the failing fetcher saw the error
+  EXPECT_EQ(pool.size(), 0u);
+}
+
 TEST(DatagramFrame, TaggedRoundTrip) {
   DgNetworkEventId id{5, 123456};
   Bytes payload = to_bytes("application data");

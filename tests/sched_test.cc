@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -70,6 +71,144 @@ TEST(GlobalCounter, AwaitPastValueThrows) {
   c.tick();
   c.tick();
   EXPECT_THROW(c.await(0), ReplayDivergenceError);
+}
+
+// The thundering-herd regression test: with many threads round-robinning
+// turns, each tick must wake only the thread whose turn arrived.  Total
+// wakeups (delivered + spurious) stay O(1) per tick, not O(waiters).
+TEST(GlobalCounter, RoundRobinWakesOnlyTurnHolder) {
+  GlobalCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        c.await(static_cast<GlobalCount>(r * kThreads + t));
+        c.tick();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), GlobalCount{kThreads * kRounds});
+
+  const SchedStats s = c.stats();
+  EXPECT_EQ(s.ticks, std::uint64_t{kThreads * kRounds});
+  EXPECT_EQ(s.waits_fast + s.waits_parked, std::uint64_t{kThreads * kRounds});
+  // Every parked wait is released by exactly one targeted notification, so
+  // delivered wakeups never exceed parked waits...
+  EXPECT_LE(s.wakeups_delivered, s.waits_parked);
+  // ...and total wakeups never exceed one per counter increment — the O(1)
+  // bound a broadcast design (O(waiters) per tick) cannot meet once
+  // waits_parked is large.
+  EXPECT_LE(s.wakeups_delivered + s.wakeups_spurious, s.ticks);
+  // ~0: the targeted design never broadcasts, so the only spurious wakes
+  // left are OS-level ones (tolerated, but rare enough to bound tightly).
+  EXPECT_LE(s.wakeups_spurious, 2u);
+  EXPECT_EQ(s.stall_detections, 0u);
+  // At most every thread is counted at once (a released waiter stays in the
+  // parked count until it wakes, so the ticker can re-park for its next
+  // round before the wakee has left).
+  EXPECT_LE(s.max_parked_waiters, std::uint64_t{kThreads});
+}
+
+TEST(GlobalCounter, StatsDistinguishFastAndParkedWaits) {
+  GlobalCounter c;
+  c.await(0);  // turn already arrived: lock-free fast path
+  EXPECT_EQ(c.stats().waits_fast, 1u);
+  EXPECT_EQ(c.stats().waits_parked, 0u);
+
+  std::thread waiter([&] { c.await(1); });  // value is 0: must park
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  c.tick();
+  waiter.join();
+
+  const SchedStats s = c.stats();
+  EXPECT_EQ(s.ticks, 1u);
+  EXPECT_EQ(s.waits_fast, 1u);
+  EXPECT_EQ(s.waits_parked, 1u);
+  EXPECT_LE(s.wakeups_delivered, 1u);
+  EXPECT_GE(s.total_wait_micros, s.max_wait_micros);
+}
+
+TEST(GlobalCounter, WithSectionCountsSections) {
+  GlobalCounter c;
+  c.with_section([](GlobalCount) {});
+  c.with_section([](GlobalCount) {});
+  const SchedStats s = c.stats();
+  EXPECT_EQ(s.sections, 2u);
+  EXPECT_EQ(s.ticks, 0u);
+}
+
+// A checkpoint-style advance_to jumping past a parked waiter's turn is a
+// usage error at the advance_to call site — not a "schedule divergence"
+// for the innocent waiter.
+TEST(GlobalCounter, AdvanceToSkippingParkedWaiterThrowsUsageError) {
+  GlobalCounter c;
+  std::thread waiter([&] { c.await(5); });
+  while (c.stats().waits_parked == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  try {
+    c.advance_to(10);
+    FAIL() << "advance_to past a parked waiter should throw UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("skip"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos);
+  }
+  EXPECT_EQ(c.value(), 0u);  // the failed advance moved nothing
+  c.advance_to(5);           // exactly the waiter's turn is fine
+  waiter.join();
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(GlobalCounter, AdvanceToBackwardsThrows) {
+  GlobalCounter c;
+  c.advance_to(4);
+  EXPECT_THROW(c.advance_to(2), UsageError);
+}
+
+// Stall-detector false-positive fix: while some registered runner is NOT
+// parked (it may be mid-recorded-read, legitimately slow), a waiter must
+// ride out stall windows instead of aborting the replay.
+TEST(GlobalCounter, StallHeldOffWhileAnotherRunnerIsActive) {
+  GlobalCounter c(std::chrono::milliseconds(100));
+  c.runner_began();  // the (slow, never-parked) ticker
+  c.runner_began();  // the waiter below
+  std::thread waiter([&] { c.await(1); });
+  // Well past one stall window — a parked-only detector would fire here.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  c.tick();
+  waiter.join();
+  EXPECT_EQ(c.stats().stall_detections, 0u);
+  c.runner_ended();
+  c.runner_ended();
+}
+
+// ...but when every registered runner is parked, no progress is possible:
+// the detector fires after a single stall window, not the 8x grace.
+TEST(GlobalCounter, StallFiresQuicklyWhenAllRunnersParked) {
+  GlobalCounter c(std::chrono::milliseconds(100));
+  c.runner_began();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(c.await(1), ReplayDivergenceError);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100) * 5);
+  EXPECT_EQ(c.stats().stall_detections, 1u);
+  c.runner_ended();
+}
+
+TEST(GlobalCounter, PoisonReleasesParkedWaiter) {
+  GlobalCounter c;
+  std::thread waiter([&] {
+    EXPECT_THROW(c.await(3), ReplayDivergenceError);
+  });
+  while (c.stats().waits_parked == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  c.poison();
+  waiter.join();
+  EXPECT_THROW(c.await(99), ReplayDivergenceError);
 }
 
 TEST(IntervalRecorder, SingleRunIsOneInterval) {

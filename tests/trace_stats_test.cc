@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/crc32.h"
 #include "core/session.h"
 #include "record/log_stats.h"
 #include "record/serializer.h"
@@ -46,6 +47,99 @@ TEST(TraceIo, CorruptionRejected) {
     EXPECT_THROW(deserialize_trace(bad), LogFormatError);
   }
   EXPECT_THROW(deserialize_trace(Bytes(6, 0)), LogFormatError);
+}
+
+// Several records can share one counter value (e.g. a multi-record critical
+// event): the gc-delta encoding must handle delta 0, not just gaps.
+TEST(TraceIo, DuplicateGcRecordsRoundTrip) {
+  TraceFile t;
+  t.vm_id = 1;
+  for (int i = 0; i < 6; ++i) {
+    sched::TraceRecord r;
+    r.gc = static_cast<GlobalCount>(i / 3);  // 0,0,0,1,1,1
+    r.thread = static_cast<ThreadNum>(i);
+    r.kind = sched::EventKind::kSharedRead;
+    r.aux = static_cast<std::uint64_t>(i);
+    t.records.push_back(r);
+  }
+  EXPECT_EQ(deserialize_trace(serialize_trace(t)), t);
+}
+
+// Gc deltas, thread numbers and aux payloads at varint/word boundaries must
+// survive the round trip bit-exactly.
+TEST(TraceIo, VarintBoundaryValuesRoundTrip) {
+  const std::uint64_t deltas[] = {0,          1,          0x7f,
+                                  0x80,       0x3fff,     0x4000,
+                                  0x1fffff,   0x200000,   0xffffffffull,
+                                  1ull << 32, 1ull << 56};
+  TraceFile t;
+  t.vm_id = 0xffffffffu;
+  GlobalCount gc = 0;
+  int i = 0;
+  for (std::uint64_t d : deltas) {
+    gc += d;
+    sched::TraceRecord r;
+    r.gc = gc;
+    r.thread = (i % 2 == 0) ? 0x7f : 0x80;  // one- vs two-byte varint
+    r.kind = sched::EventKind::kSharedWrite;
+    r.aux = (i % 2 == 0) ? ~std::uint64_t{0} : (1ull << 63);
+    t.records.push_back(r);
+    ++i;
+  }
+  TraceFile back = deserialize_trace(serialize_trace(t));
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.records.back().gc, gc);
+}
+
+TEST(TraceIo, MalformedInputsRejected) {
+  const Bytes good = serialize_trace(sample_trace());
+
+  // Truncation anywhere (header, body, or losing the CRC trailer).
+  for (std::size_t keep : {std::size_t{0}, std::size_t{7}, std::size_t{13},
+                           good.size() / 2, good.size() - 1}) {
+    EXPECT_THROW(deserialize_trace(BytesView(good.data(), keep)),
+                 LogFormatError)
+        << "truncated to " << keep << " bytes";
+  }
+
+  // Bad magic (CRC recomputed so the magic check itself is what fires).
+  TraceFile t = sample_trace();
+  Bytes bad_magic = serialize_trace(t);
+  bad_magic[0] ^= 0xff;
+  bad_magic.resize(bad_magic.size() - 4);
+  {
+    ByteWriter w;
+    w.raw(bad_magic);
+    w.u32(crc32(w.view()));
+    EXPECT_THROW(deserialize_trace(w.view()), LogFormatError);
+  }
+
+  // Unsupported version, same CRC-fixup treatment.
+  Bytes bad_version = serialize_trace(t);
+  bad_version[8] = 0x7e;
+  bad_version.resize(bad_version.size() - 4);
+  {
+    ByteWriter w;
+    w.raw(bad_version);
+    w.u32(crc32(w.view()));
+    EXPECT_THROW(deserialize_trace(w.view()), LogFormatError);
+  }
+
+  // CRC flip alone.
+  Bytes bad_crc = good;
+  bad_crc.back() ^= 0x01;
+  EXPECT_THROW(deserialize_trace(bad_crc), LogFormatError);
+
+  // Trailing garbage after the records, CRC made consistent.
+  Bytes padded = good;
+  padded.resize(padded.size() - 4);
+  padded.push_back(0xaa);
+  {
+    ByteWriter w;
+    w.raw(padded);
+    w.u32(crc32(w.view()));
+    EXPECT_THROW(deserialize_trace(w.view()), LogFormatError);
+  }
 }
 
 TEST(TraceIo, FileRoundTrip) {
@@ -145,6 +239,37 @@ TEST(LogStats, CountsNetworkShape) {
   std::string text = to_text(s);
   EXPECT_NE(text.find("sock-read"), std::string::npos);
   EXPECT_NE(text.find("1 exceptions"), std::string::npos);
+}
+
+// Scheduler self-measurements ride along with a run and can be attached to
+// the log statistics.  Replay must show O(1) wakeups per critical event —
+// the targeted-wakeup acceptance metric.
+TEST(LogStats, AttachesSchedulerSnapshot) {
+  core::Session s;
+  s.add_vm("app", 1, true, [](vm::Vm& v) {
+    vm::SharedVar<std::uint64_t> x(v, 0);
+    vm::VmThread t(v, [&x] {
+      for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+    });
+    for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+    t.join();
+  });
+  auto rec = s.record(1);
+  // Record mode counts GC-critical sections, never replay ticks.
+  EXPECT_GE(rec.vm("app").sched.sections, 100u);
+  EXPECT_EQ(rec.vm("app").sched.ticks, 0u);
+
+  auto rep = s.replay(rec, 2);
+  const sched::SchedStats& rs = rep.vm("app").sched;
+  EXPECT_GE(rs.ticks, 100u);
+  EXPECT_EQ(rs.waits_fast + rs.waits_parked, rs.ticks);
+  EXPECT_LE(rs.wakeups_delivered + rs.wakeups_spurious, rs.ticks);
+  EXPECT_EQ(rs.stall_detections, 0u);
+
+  LogStats stats = compute_stats(*rec.vm("app").log, rs);
+  EXPECT_TRUE(stats.has_sched);
+  EXPECT_NE(to_text(stats).find("scheduler:"), std::string::npos);
+  EXPECT_NE(to_text(stats).find("wakeups:"), std::string::npos);
 }
 
 // On a real recording: the mean interval length times the interval count
