@@ -1,0 +1,168 @@
+// Record-path contention benchmark: critical-event throughput as the
+// thread count grows, sharded GC-critical sections vs the paper-faithful
+// single section (the ablation baseline), over independent vs shared
+// conflict objects.
+//
+// Each worker hammers a SharedVar with get+set pairs (two critical events
+// per iteration).  "independent" gives every thread its own var — the case
+// sharding is built for: events on distinct objects take distinct stripes
+// and the only shared write is the counter fetch_add.  "shared" makes all
+// threads fight over one var, so every event takes the same stripe and
+// sharding can't help — the honest lower bound.
+//
+// The total event count is held constant across thread counts, so the
+// throughput column directly shows scaling (or, on an oversubscribed
+// machine, contention).  Emits BENCH_record_scaling.json via
+// bench/emit_json.h.  Note: on a single-core container every config is
+// timeslicing, not parallel — expect sharding to show up as *less
+// degradation* under contention rather than a multi-core speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/emit_json.h"
+#include "net/network.h"
+#include "sched/sched_stats.h"
+#include "vm/shared_var.h"
+#include "vm/thread.h"
+#include "vm/vm.h"
+
+namespace djvu::bench {
+namespace {
+
+constexpr int kTotalIters = 30000;  // get+set pairs, split among threads
+constexpr int kReps = 3;
+
+struct Result {
+  int threads = 0;
+  bool shared_object = false;
+  bool sharding = false;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  sched::SchedStats sched{};
+};
+
+Result run_config(int threads, bool shared_object, bool sharding) {
+  auto network = std::make_shared<net::Network>();
+  vm::VmConfig cfg;
+  cfg.vm_id = 1;
+  cfg.mode = vm::Mode::kRecord;
+  cfg.keep_trace = false;
+  cfg.record_sharding = sharding;
+  vm::Vm v(network, cfg);
+  v.attach_main();
+
+  const int per_thread = kTotalIters / threads;
+  std::vector<std::unique_ptr<vm::SharedVar<std::uint64_t>>> vars;
+  const int var_count = shared_object ? 1 : threads;
+  for (int i = 0; i < var_count; ++i) {
+    vars.push_back(std::make_unique<vm::SharedVar<std::uint64_t>>(v, 0));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<vm::VmThread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      auto& var = *vars[shared_object ? 0 : t];
+      workers.emplace_back(v, [&var, per_thread] {
+        for (int i = 0; i < per_thread; ++i) var.set(var.get() + 1);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  Result r;
+  r.threads = threads;
+  r.shared_object = shared_object;
+  r.sharding = sharding;
+  // get + set per iteration, plus one thread-start event per worker.
+  r.events = static_cast<std::uint64_t>(per_thread) * 2 *
+                 static_cast<std::uint64_t>(threads) +
+             static_cast<std::uint64_t>(threads);
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  r.sched = v.sched_stats();
+  v.detach_current();
+  return r;
+}
+
+Result best_of(int threads, bool shared_object, bool sharding) {
+  Result best;
+  for (int i = 0; i < kReps; ++i) {
+    Result r = run_config(threads, shared_object, sharding);
+    if (i == 0 || r.events_per_sec > best.events_per_sec) best = r;
+  }
+  return best;
+}
+
+Json to_json(const Result& r) {
+  return Json::object()
+      .field("threads", r.threads)
+      .field("objects", r.shared_object ? "shared" : "independent")
+      .field("sharding", r.sharding)
+      .field("events", r.events)
+      .field("seconds", r.seconds)
+      .field("events_per_sec", r.events_per_sec)
+      .field("stripe_count", static_cast<std::uint64_t>(r.sched.stripe_count))
+      .field("stripe_waits", r.sched.stripe_waits)
+      .field("section_wait_micros", r.sched.section_wait_micros)
+      .field("max_stripe_collisions", r.sched.max_stripe_collisions);
+}
+
+}  // namespace
+}  // namespace djvu::bench
+
+int main() {
+  using namespace djvu;
+  using namespace djvu::bench;
+
+  std::printf("Record-path contention: critical events/sec, sharded vs "
+              "single GC-critical section\n");
+  std::printf("(hardware_concurrency=%u — on one core, look for reduced "
+              "degradation, not speedup)\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %10s %10s %12s %13s %12s\n", "#threads", "objects",
+              "mode", "Mev/s", "speedup", "stripe_waits", "wait(us)");
+
+  std::vector<Json> records;
+  for (bool shared_object : {false, true}) {
+    for (int threads : {1, 2, 4, 8, 16}) {
+      Result single = best_of(threads, shared_object, /*sharding=*/false);
+      Result sharded = best_of(threads, shared_object, /*sharding=*/true);
+      records.push_back(to_json(single));
+      records.push_back(to_json(sharded));
+      const char* objects = shared_object ? "shared" : "independent";
+      std::printf("%8d %12s %10s %10.3f %12s %13llu %12llu\n", threads,
+                  objects, "single", single.events_per_sec / 1e6, "-",
+                  static_cast<unsigned long long>(single.sched.stripe_waits),
+                  static_cast<unsigned long long>(
+                      single.sched.section_wait_micros));
+      std::printf("%8d %12s %10s %10.3f %11.2fx %13llu %12llu\n", threads,
+                  objects, "sharded", sharded.events_per_sec / 1e6,
+                  sharded.events_per_sec / single.events_per_sec,
+                  static_cast<unsigned long long>(sharded.sched.stripe_waits),
+                  static_cast<unsigned long long>(
+                      sharded.sched.section_wait_micros));
+    }
+    std::printf("\n");
+  }
+
+  Json root =
+      Json::object()
+          .field("bench", "record_scaling")
+          .field("env", Json::object()
+                            .field("hardware_concurrency",
+                                   static_cast<std::uint64_t>(
+                                       std::thread::hardware_concurrency()))
+                            .field("total_iters", kTotalIters)
+                            .field("reps", kReps))
+          .field("results", records);
+  write_bench_json("BENCH_record_scaling.json", root);
+  return 0;
+}

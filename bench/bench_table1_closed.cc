@@ -8,7 +8,12 @@
 // super-linearly with the thread count, client overhead above server
 // overhead.
 
+// `--no-sharding` records through the paper-faithful single GC-critical
+// section instead of the sharded lock table (the EXPERIMENTS.md ablation
+// rows compare the two).
+
 #include <cstdio>
+#include <cstring>
 
 #include "bench/workload.h"
 #include "record/serializer.h"
@@ -31,18 +36,25 @@ WorkloadParams params_for(int threads) {
 }  // namespace
 }  // namespace djvu::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace djvu;
   using namespace djvu::bench;
 
+  bool sharding = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-sharding") == 0) sharding = false;
+  }
+
   std::printf("Table 1 reproduction: closed-world results "
-              "(both components on DJVMs)\n\n");
+              "(both components on DJVMs, %s record sections)\n\n",
+              sharding ? "sharded" : "single");
 
   std::vector<Row> server_rows, client_rows;
   for (int threads : {2, 4, 8, 16, 32}) {
     WorkloadParams p = params_for(threads);
     core::Session s = make_session(p, /*server_djvm=*/true,
-                                   /*client_djvm=*/true);
+                                   /*client_djvm=*/true,
+                                   /*keep_trace=*/false, sharding);
     const int reps = threads <= 8 ? 5 : 3;
     // Per-component baselines and record times (the paper reports server
     // and client overheads separately).

@@ -1,0 +1,100 @@
+// Uniform BENCH_*.json emitter for the bench binaries.
+//
+// Every bench that produces machine-readable results writes one flat JSON
+// file through this helper so the files share a shape: a top-level object
+// with a "bench" name, an "env" block, and a "results" array of flat
+// records.  No external JSON dependency — this covers exactly the value
+// kinds the benches emit (strings, integers, doubles, bools, nested
+// objects, arrays of objects).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace djvu::bench {
+
+/// A JSON object (or array) under construction.  Build with chained
+/// field() calls, render with str().
+class Json {
+ public:
+  static Json object() { return Json("{", "}"); }
+
+  static Json array(const std::vector<Json>& items) {
+    Json j("[", "]");
+    for (const Json& item : items) j.add(item.str());
+    return j;
+  }
+
+  Json& field(const std::string& key, const std::string& v) {
+    return raw_field(key, quote(v));
+  }
+  Json& field(const std::string& key, const char* v) {
+    return raw_field(key, quote(v));
+  }
+  Json& field(const std::string& key, bool v) {
+    return raw_field(key, v ? "true" : "false");
+  }
+  Json& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw_field(key, buf);
+  }
+  Json& field(const std::string& key, std::uint64_t v) {
+    return raw_field(key, std::to_string(v));
+  }
+  Json& field(const std::string& key, int v) {
+    return raw_field(key, std::to_string(v));
+  }
+  Json& field(const std::string& key, const Json& v) {
+    return raw_field(key, v.str());
+  }
+  Json& field(const std::string& key, const std::vector<Json>& items) {
+    return raw_field(key, array(items).str());
+  }
+
+  std::string str() const { return body_ + close_; }
+
+ private:
+  Json(std::string open, std::string close)
+      : body_(std::move(open)), close_(std::move(close)) {}
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  Json& raw_field(const std::string& key, const std::string& rendered) {
+    add(quote(key) + ":" + rendered);
+    return *this;
+  }
+
+  void add(const std::string& rendered) {
+    if (body_.size() > 1) body_ += ",";
+    body_ += rendered;
+  }
+
+  std::string body_;
+  std::string close_;
+};
+
+/// Writes `root` to `path` with a trailing newline; throws on I/O failure.
+inline void write_bench_json(const std::string& path, const Json& root) {
+  std::string text = root.str() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw Error("cannot open " + path + " for writing");
+  std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (n != text.size()) throw Error("short write to " + path);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace djvu::bench

@@ -140,9 +140,11 @@ inline void client_main(vm::Vm& v, const WorkloadParams& p,
 /// Builds the two-component session.  `server_djvm` / `client_djvm` select
 /// the world: both true = closed (Table 1); exactly one = open (Table 2).
 inline core::Session make_session(const WorkloadParams& p, bool server_djvm,
-                                  bool client_djvm, bool keep_trace = false) {
+                                  bool client_djvm, bool keep_trace = false,
+                                  bool record_sharding = true) {
   core::SessionConfig cfg;
   cfg.keep_trace = keep_trace;
+  cfg.record_sharding = record_sharding;
   // Delays just wide enough to race connections; kept tiny so sleep time
   // does not dilute the CPU overhead the tables measure.
   cfg.net.connect_delay = {std::chrono::microseconds(0),

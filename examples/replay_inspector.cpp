@@ -53,8 +53,9 @@ core::Session demo_session() {
 
 void inspect(const record::VmLog& log) {
   std::printf("%s", record::to_text(log).c_str());
+  const Bytes serialized = record::serialize(log);
   std::printf("serialized size: %zu bytes (payload %zu)\n\n",
-              record::serialize(log).size(), record::log_payload_size(log));
+              serialized.size(), record::log_payload_size(serialized));
 }
 
 }  // namespace

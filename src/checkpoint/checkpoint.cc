@@ -127,14 +127,19 @@ void Checkpointer::barrier(std::uint32_t phase) {
     Checkpoint cp;
     cp.phase = phase;
     // Snapshot inside the kCheckpoint critical event: state capture and
-    // counter position are one atomic action.
-    vm_.critical_event(sched::EventKind::kCheckpoint, [&](GlobalCount gc) {
-      cp.gc = gc;
-      for (const auto& [name, hooks] : tracked_) {
-        cp.state.emplace(name, hooks.save());
-      }
-      return std::uint64_t{phase};
-    });
+    // counter position are one atomic action.  kGlobalConflict: the save
+    // hooks read state owned by arbitrary objects, so under sharding this
+    // event must exclude every stripe, not just its own.
+    vm_.critical_event(
+        sched::EventKind::kCheckpoint,
+        [&](GlobalCount gc) {
+          cp.gc = gc;
+          for (const auto& [name, hooks] : tracked_) {
+            cp.state.emplace(name, hooks.save());
+          }
+          return std::uint64_t{phase};
+        },
+        0, vm::kGlobalConflict);
     sched::ThreadState& main = vm_.current_state();
     if (main.num != 0) {
       throw UsageError("checkpoint barrier must run on the main thread");

@@ -111,6 +111,7 @@ RunResult Session::run(vm::Mode djvm_mode,
     cfg.djvm_hosts = djvm_hosts;
     cfg.keep_trace = config_.keep_trace;
     cfg.stall_timeout = config_.stall_timeout;
+    cfg.record_sharding = config_.record_sharding;
     cfg.chaos_prob = config_.chaos_prob;
     cfg.chaos_seed = net_config.seed * 1000003 + spec.vm_id;
 

@@ -41,6 +41,11 @@ struct SessionConfig {
   /// Replay stall detector (see vm::VmConfig::stall_timeout).
   std::chrono::milliseconds stall_timeout{10000};
 
+  /// Record-mode sharded GC-critical sections (see
+  /// vm::VmConfig::record_sharding).  Off = the paper-faithful single
+  /// section, the ablation baseline.
+  bool record_sharding = true;
+
   /// Record-phase schedule fuzzing (see vm::VmConfig::chaos_prob); each VM
   /// derives its own chaos stream from the network seed and its id.
   double chaos_prob = 0.0;

@@ -187,9 +187,7 @@ VmLog load_from_file(const std::string& path) {
 }
 
 std::size_t log_payload_size(const VmLog& log) {
-  // Fixed framing: magic(8) + version(2) + vm_id(4) + crc(4).
-  std::size_t total = serialize(log).size();
-  return total - (8 + 2 + 4 + 4);
+  return log_payload_size(serialize(log));
 }
 
 }  // namespace djvu::record

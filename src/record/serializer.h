@@ -40,9 +40,20 @@ void save_to_file(const VmLog& log, const std::string& path);
 /// Reads a binary VmLog from a file; throws Error / LogFormatError.
 VmLog load_from_file(const std::string& path);
 
+/// Fixed framing around the payload of a serialized bundle: magic(8) +
+/// version(2) + vm_id(4) header plus the crc32(4) trailer.
+inline constexpr std::size_t kLogFramingBytes = 8 + 2 + 4 + 4;
+
 /// The "log size (bytes)" metric of Tables 1 and 2: size of the serialized
 /// bundle minus fixed header/trailer framing (so it measures recorded
 /// information, comparable across runs).
 std::size_t log_payload_size(const VmLog& log);
+
+/// Same metric computed from an already-serialized bundle — use this when
+/// the caller has (or also needs) the bytes, so the log is serialized once,
+/// not once per metric.
+inline std::size_t log_payload_size(const Bytes& serialized) {
+  return serialized.size() - kLogFramingBytes;
+}
 
 }  // namespace djvu::record

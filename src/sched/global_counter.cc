@@ -21,10 +21,34 @@ struct GlobalCounter::Waiter {
   Waiter* next = nullptr;
 };
 
-GlobalCounter::GlobalCounter(std::chrono::milliseconds stall_timeout)
-    : stall_timeout_(stall_timeout) {}
+GlobalCounter::GlobalCounter(std::chrono::milliseconds stall_timeout,
+                             std::size_t record_stripes)
+    : stall_timeout_(stall_timeout),
+      stripe_count_(record_stripes),
+      stripes_(record_stripes ? std::make_unique<Stripe[]>(record_stripes)
+                              : nullptr) {}
 
 GlobalCounter::~GlobalCounter() = default;
+
+std::unique_lock<std::mutex> GlobalCounter::acquire_timed(std::mutex& m,
+                                                          Stripe* stripe) {
+  std::unique_lock<std::mutex> lock(m, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  const auto waited = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  stripe_waits_.fetch_add(1, std::memory_order_relaxed);
+  section_wait_micros_.fetch_add(waited, std::memory_order_relaxed);
+  if (stripe != nullptr) {
+    stripe->contended.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    global_contended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return lock;
+}
 
 void GlobalCounter::runner_began() {
   runners_.fetch_add(1, std::memory_order_seq_cst);
@@ -239,6 +263,15 @@ SchedStats GlobalCounter::stats() const {
   s.max_parked_waiters = max_parked_waiters_.load(std::memory_order_relaxed);
   s.total_wait_micros = total_wait_micros_.load(std::memory_order_relaxed);
   s.max_wait_micros = max_wait_micros_.load(std::memory_order_relaxed);
+  s.stripe_count = stripe_count_;
+  s.stripe_waits = stripe_waits_.load(std::memory_order_relaxed);
+  s.section_wait_micros = section_wait_micros_.load(std::memory_order_relaxed);
+  std::uint64_t worst = global_contended_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < stripe_count_; ++i) {
+    worst = std::max(worst,
+                     stripes_[i].contended.load(std::memory_order_relaxed));
+  }
+  s.max_stripe_collisions = worst;
   return s;
 }
 
@@ -263,6 +296,13 @@ std::string to_text(const SchedStats& s) {
       static_cast<unsigned long long>(s.total_wait_micros),
       static_cast<unsigned long long>(s.max_wait_micros),
       static_cast<unsigned long long>(s.stall_detections));
+  out += str_format(
+      "  sections: %llu stripe(s), %llu contended entries, %llu us blocked, "
+      "max %llu collisions on one stripe\n",
+      static_cast<unsigned long long>(s.stripe_count),
+      static_cast<unsigned long long>(s.stripe_waits),
+      static_cast<unsigned long long>(s.section_wait_micros),
+      static_cast<unsigned long long>(s.max_stripe_collisions));
   return out;
 }
 

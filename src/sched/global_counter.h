@@ -10,6 +10,20 @@
 // GC-critical section).  Blocking events instead run outside the section and
 // call `tick()` afterwards to mark themselves.
 //
+// Sharded record mode (constructor `record_stripes > 0`): the single section
+// is replaced by a striped lock table keyed by the event's conflict object.
+// `with_section(key, f)` locks only the stripe the key hashes to, assigns
+// the event's number with an atomic fetch_add *while holding the stripe*,
+// and runs the event body under that stripe.  Events on independent objects
+// proceed in parallel; events on the same object stay mutually exclusive
+// with their numbering, so the counter order restricted to any one object
+// equals its lock-acquisition (i.e. access) order.  Replay's total-order
+// enforcement — unchanged — linearizes all per-object orders and therefore
+// reproduces every observed value (docs/INTERNALS.md "Sharded GC-critical
+// sections" gives the full argument).  `with_exclusive_section(f)` locks
+// every stripe for events that must exclude ALL concurrent events
+// (checkpoint snapshots).
+//
 // Replay mode: `await(g)` blocks a thread until the counter reaches its next
 // event's recorded value; `tick()` releases the next event in the total
 // order.
@@ -19,15 +33,17 @@
 // the new value and notifies only the thread whose turn arrived.  The value
 // is an atomic, so `value()`, the await fast path, and replay-mode `tick()`
 // with no waiters parked never take the mutex.  Concurrency contract:
-// with_section() calls are mutually exclusive with each other (the section
-// mutex doubles as the data lock for SharedVar et al.) but NOT with tick();
-// the two are never mixed concurrently — with_section() is the record-mode
-// event path, tick() the replay-mode one, where the turn protocol already
-// serializes tickers.
+// with_section() calls on the same stripe (always, in single-section mode)
+// are mutually exclusive with each other but NOT with tick(); the two are
+// never mixed concurrently — with_section() is the record-mode event path,
+// tick() the replay-mode one, where the turn protocol already serializes
+// tickers.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -36,6 +52,12 @@
 #include "sched/sched_stats.h"
 
 namespace djvu::sched {
+
+/// Conflict key for the sharded record path: an integer identifying the
+/// object a critical event conflicts on (usually a mixed object address;
+/// thread-local events use an odd key derived from the thread number, which
+/// can never collide with an aligned pointer).
+using SectionKey = std::uint64_t;
 
 /// Thread-safe global counter with targeted-wakeup turn-waiting.
 class GlobalCounter {
@@ -47,8 +69,14 @@ class GlobalCounter {
   /// doing real work (e.g. a slow recorded read), waiters keep waiting up
   /// to kStallGraceFactor windows before giving up — so legitimate slowness
   /// elsewhere no longer trips the detector at the first window.
+  ///
+  /// `record_stripes` selects the record-mode section layout: 0 keeps the
+  /// paper-faithful single GC-critical section; N > 0 builds an N-stripe
+  /// lock table for `with_section(key, f)` (replay mode never passes
+  /// stripes — turn-waiting is layout-independent).
   explicit GlobalCounter(std::chrono::milliseconds stall_timeout =
-                             std::chrono::milliseconds(10000));
+                             std::chrono::milliseconds(10000),
+                         std::size_t record_stripes = 0);
   ~GlobalCounter();
   GlobalCounter(const GlobalCounter&) = delete;
   GlobalCounter& operator=(const GlobalCounter&) = delete;
@@ -59,26 +87,79 @@ class GlobalCounter {
   /// surface as an error, just not as eagerly as a certain deadlock).
   static constexpr int kStallGraceFactor = 8;
 
-  /// Current value (== number of critical events executed so far).
-  /// Lock-free.
-  GlobalCount value() const { return value_.load(std::memory_order_seq_cst); }
+  /// Current value (== number of critical events started so far; with the
+  /// single section "started" and "completed" coincide).  Lock-free.
+  /// Acquire, not seq_cst: this is a pure observer — it pairs with the
+  /// (release-or-stronger) publications in tick() / with_section() /
+  /// publish_increment_locked() to see a fresh value, but it is NOT part of
+  /// the register-vs-tick Dekker pair (await() performs its own seq_cst
+  /// loads of value_ for that; see parked_'s comment).
+  GlobalCount value() const { return value_.load(std::memory_order_acquire); }
 
   /// Marks one critical event: atomically assigns the current value to the
   /// event and increments.  Returns the assigned value.  Lock-free unless a
   /// waiter is parked; then the one waiter whose turn arrived is notified.
   GlobalCount tick();
 
-  /// GC-critical section: runs `f` with the counter lock held and the event
+  /// GC-critical section: runs `f` with the section lock held and the event
   /// numbered `value()`, then increments — counter update and event
   /// execution as a single atomic action (record mode, non-blocking events).
+  /// This overload always uses the single global section, regardless of the
+  /// stripe configuration.
   template <typename F>
   GlobalCount with_section(F&& f) {
     GlobalCount v;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::mutex> lock = acquire_timed(mutex_, nullptr);
       v = value_.load(std::memory_order_relaxed);
       std::forward<F>(f)(v);
       publish_increment_locked(v + 1);
+    }
+    sections_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Sharded GC-critical section: runs `f` holding only the stripe `key`
+  /// hashes to, with the event's number assigned by an atomic fetch_add
+  /// while the stripe is held.  Falls back to the single section when the
+  /// counter was constructed without stripes.  Events whose keys hash to
+  /// different stripes execute concurrently; same-key events (and hash
+  /// collisions, which only over-serialize) stay atomic with their
+  /// numbering.
+  template <typename F>
+  GlobalCount with_section(SectionKey key, F&& f) {
+    if (stripe_count_ == 0) return with_section(std::forward<F>(f));
+    Stripe& s = stripes_[stripe_index(key)];
+    GlobalCount v;
+    {
+      std::unique_lock<std::mutex> lock = acquire_timed(s.mutex, &s);
+      // seq_cst keeps the per-stripe assignment totally ordered with every
+      // other stripe's (a plain release RMW would suffice for the per-object
+      // argument, but seq_cst keeps value() monotone for cross-stripe
+      // observers and costs the same on x86/ARM RMW).
+      v = value_.fetch_add(1, std::memory_order_seq_cst);
+      std::forward<F>(f)(v);
+    }
+    sections_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Fully exclusive GC-critical section: excludes every concurrent
+  /// with_section() on every stripe (and the single section).  Used by
+  /// events whose body snapshots state owned by arbitrary other objects —
+  /// checkpoint barriers — where per-object exclusion is not enough.
+  template <typename F>
+  GlobalCount with_exclusive_section(F&& f) {
+    if (stripe_count_ == 0) return with_section(std::forward<F>(f));
+    GlobalCount v;
+    {
+      std::unique_lock<std::mutex> global = acquire_timed(mutex_, nullptr);
+      for (std::size_t i = 0; i < stripe_count_; ++i) stripes_[i].mutex.lock();
+      v = value_.fetch_add(1, std::memory_order_seq_cst);
+      std::forward<F>(f)(v);
+      for (std::size_t i = stripe_count_; i > 0; --i) {
+        stripes_[i - 1].mutex.unlock();
+      }
     }
     sections_.fetch_add(1, std::memory_order_relaxed);
     return v;
@@ -125,8 +206,39 @@ class GlobalCounter {
   /// The configured stall window.
   std::chrono::milliseconds stall_timeout() const { return stall_timeout_; }
 
+  /// Stripes in the record-section lock table (0 = single section).
+  std::size_t record_stripes() const { return stripe_count_; }
+
  private:
   struct Waiter;
+
+  /// One lock-table stripe.  Cache-line sized so neighbouring stripes do
+  /// not false-share under concurrent record traffic.
+  struct alignas(64) Stripe {
+    std::mutex mutex;
+    /// Contended acquisitions of this stripe (relaxed; feeds the
+    /// max_stripe_collisions high-water mark).
+    std::atomic<std::uint64_t> contended{0};
+  };
+
+  std::size_t stripe_index(SectionKey key) const {
+    // splitmix64 finalizer: cheap, and scrambles the low bits pointers
+    // leave constant (alignment) before the modulo.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % stripe_count_);
+  }
+
+  /// Locks `m`, counting the acquisition as contended (and timing the wait)
+  /// when the lock was not immediately available.  `stripe` is the stripe
+  /// whose collision counter to bump, nullptr for the global section.  The
+  /// clock is only read on the contended path, so the uncontended hot path
+  /// stays a bare try_lock.
+  std::unique_lock<std::mutex> acquire_timed(std::mutex& m, Stripe* stripe);
 
   /// Stores the new value and, when waiters are parked, records progress
   /// and releases those whose turn arrived.  Caller holds mutex_.
@@ -147,9 +259,11 @@ class GlobalCounter {
 
   /// Number of currently parked waiters.  seq_cst stores/loads pair with
   /// value_'s to close the register-vs-tick race (Dekker): a waiter
-  /// publishes its slot then re-reads the value; a ticker publishes the
-  /// value then reads the parked count — at least one side always sees the
-  /// other.
+  /// publishes its slot (parked_.fetch_add in await) then re-reads the
+  /// value (value_.load in await's loop); a ticker publishes the value
+  /// (value_.fetch_add in tick) then reads the parked count (parked_.load
+  /// in tick) — at least one side always sees the other.  Each seq_cst
+  /// operation below names its partner on the other side of this pair.
   std::atomic<std::uint64_t> parked_{0};
 
   std::atomic<std::uint64_t> runners_{0};
@@ -165,8 +279,18 @@ class GlobalCounter {
   std::atomic<std::uint64_t> max_parked_waiters_{0};
   std::atomic<std::uint64_t> total_wait_micros_{0};
   std::atomic<std::uint64_t> max_wait_micros_{0};
+  std::atomic<std::uint64_t> stripe_waits_{0};
+  std::atomic<std::uint64_t> section_wait_micros_{0};
+  /// Contended acquisitions of the single global section (the "stripe 0"
+  /// of the unsharded layout; feeds max_stripe_collisions there).
+  std::atomic<std::uint64_t> global_contended_{0};
 
   const std::chrono::milliseconds stall_timeout_;
+
+  /// Record-section lock table (empty = single-section mode).  Immutable
+  /// after construction.
+  const std::size_t stripe_count_;
+  std::unique_ptr<Stripe[]> stripes_;
 
   mutable std::mutex mutex_;
   /// Intrusive list of parked waiters (slots live on the waiting threads'

@@ -54,6 +54,23 @@ struct SchedStats {
   std::uint64_t total_wait_micros = 0;
   std::uint64_t max_wait_micros = 0;
 
+  /// Record-section layout: stripes in the GC-critical-section lock table
+  /// (0 = the paper's single section).
+  std::uint64_t stripe_count = 0;
+
+  /// Section entries that found their stripe (or the single section)
+  /// already held and had to block.
+  std::uint64_t stripe_waits = 0;
+
+  /// Total time section entries spent blocked on a held stripe.
+  std::uint64_t section_wait_micros = 0;
+
+  /// High-water mark of contended acquisitions on any one stripe.  A large
+  /// value concentrated here while stripe_waits is similar means one hot
+  /// object (or a hash collision pile-up) the shard layout is not
+  /// dissolving.
+  std::uint64_t max_stripe_collisions = 0;
+
   /// Wakeups (delivered + spurious) per counter increment — the O(1) vs
   /// O(waiters) acceptance metric.  0 when nothing ever ticked.
   double wakeups_per_tick() const {

@@ -15,6 +15,7 @@
 #include "common/errors.h"
 #include "common/ids.h"
 #include "sched/interval.h"
+#include "sched/trace.h"
 
 namespace djvu::sched {
 
@@ -36,6 +37,11 @@ struct ThreadState {
 
   /// Allocates the eventNum for the network event being executed.
   EventNum take_network_event_num() { return next_network_event++; }
+
+  /// Locally buffered trace records (when the Vm keeps a trace): events
+  /// append here without any cross-thread lock and the Vm merges the
+  /// buffer into its ExecutionTrace at thread finish / trace access.
+  std::vector<TraceRecord> trace_buf;
 };
 
 /// Registry of all threads of one VM; assigns creation-order thread numbers.
@@ -66,6 +72,15 @@ class ThreadRegistry {
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return threads_.size();
+  }
+
+  /// Runs `f` on every registered thread's state under the registry lock.
+  /// Callers must only touch state the owning thread has quiesced or
+  /// published (e.g. draining trace buffers at end of phase).
+  template <typename F>
+  void for_each(F&& f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& t : threads_) f(*t);
   }
 
   /// Closes every thread's open interval and returns the per-thread interval

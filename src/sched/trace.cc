@@ -8,26 +8,33 @@
 
 namespace djvu::sched {
 
-std::vector<TraceRecord> ExecutionTrace::sorted() const {
-  std::vector<TraceRecord> out;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    out = records_;
+const std::vector<TraceRecord>& ExecutionTrace::sorted_locked() const {
+  if (!sorted_valid_) {
+    sorted_cache_ = records_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                return a.gc < b.gc;
+              });
+    sorted_valid_ = true;
   }
-  std::sort(out.begin(), out.end(),
-            [](const TraceRecord& a, const TraceRecord& b) {
-              return a.gc < b.gc;
-            });
-  return out;
+  return sorted_cache_;
+}
+
+std::vector<TraceRecord> ExecutionTrace::sorted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sorted_locked();
 }
 
 std::uint64_t ExecutionTrace::digest() const {
   ByteWriter w;
-  for (const TraceRecord& r : sorted()) {
-    w.u64(r.gc)
-        .u32(r.thread)
-        .u8(static_cast<std::uint8_t>(r.kind))
-        .u64(r.aux);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceRecord& r : sorted_locked()) {
+      w.u64(r.gc)
+          .u32(r.thread)
+          .u8(static_cast<std::uint8_t>(r.kind))
+          .u64(r.aux);
+    }
   }
   Bytes buf = w.take();
   // Two CRCs over different slicings give a 64-bit digest.

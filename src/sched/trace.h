@@ -8,6 +8,9 @@
 // observed" (§6).
 //
 // Tracing is optional (Vm config) so overhead measurements can exclude it.
+// The hot path never touches this class directly: the Vm buffers records in
+// per-thread vectors (ThreadState::trace_buf) and merges them here in
+// batches, so trace-keeping adds no cross-thread contention per event.
 #pragma once
 
 #include <cstdint>
@@ -30,16 +33,29 @@ struct TraceRecord {
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
-/// Thread-safe append-only trace.
+/// Thread-safe append-only trace with a cached sorted view.
 class ExecutionTrace {
  public:
   /// Appends one record (any thread).
   void append(const TraceRecord& r) {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.push_back(r);
+    sorted_valid_ = false;
+  }
+
+  /// Appends a batch of records (any thread) — one lock round-trip for a
+  /// whole per-thread buffer.
+  void append_batch(const std::vector<TraceRecord>& batch) {
+    if (batch.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.insert(records_.end(), batch.begin(), batch.end());
+    sorted_valid_ = false;
   }
 
   /// Records sorted by global counter value (the per-VM total order).
+  /// The sorted view is computed once and cached until the next append;
+  /// digest()/first_divergence()/exports calling this repeatedly cost one
+  /// sort total, not one per call.
   std::vector<TraceRecord> sorted() const;
 
   /// Number of records.
@@ -58,8 +74,15 @@ class ExecutionTrace {
                                       const ExecutionTrace& replayed);
 
  private:
+  /// Ensures sorted_cache_ is valid and returns a reference to it.  Caller
+  /// holds mutex_; the reference is only valid while the lock is held.
+  const std::vector<TraceRecord>& sorted_locked() const;
+
   mutable std::mutex mutex_;
   std::vector<TraceRecord> records_;
+  /// Cache of records_ sorted by gc; rebuilt lazily, invalidated by append.
+  mutable std::vector<TraceRecord> sorted_cache_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace djvu::sched

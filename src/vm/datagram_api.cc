@@ -46,7 +46,7 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.event_num = en;
       e.value = local_.port;  // recorded port, rebound during replay
       vm_.network_log().append(st.num, std::move(e));
-      vm_.mark_event(EventKind::kUdpCreate, local_.port);
+      vm_.mark_event(EventKind::kUdpCreate, local_.port, this);
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
       e.kind = EventKind::kUdpCreate;
@@ -54,7 +54,7 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpCreate,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       throw SocketException(err.code(),
                             "udp bind port " + std::to_string(port));
     }
@@ -69,7 +69,7 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kUdpCreate,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw SocketException(entry->error, "udp bind (recorded failure)");
   }
   auto recorded_port = static_cast<net::Port>(*entry->value);
@@ -81,7 +81,7 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
   }
   local_ = port_->address();
   rel_ = std::make_unique<replay::ReliableUdp>(port_, &vm_.network());
-  vm_.mark_event(EventKind::kUdpCreate, local_.port);
+  vm_.mark_event(EventKind::kUdpCreate, local_.port, this);
 }
 
 DatagramSocket::~DatagramSocket() {
@@ -134,36 +134,39 @@ void DatagramSocket::send(const DatagramPacket& packet) {
                       vm_.is_djvm_host(packet.address.host);
 
   auto run = [&]() {
-    vm_.critical_event(EventKind::kUdpSend, [&](GlobalCount gc) {
-      if (tagged) {
-        if (packet.data.size() > max_app_payload()) {
-          throw net::NetError(NetErrorCode::kMessageTooLarge,
-                              "payload of " +
-                                  std::to_string(packet.data.size()) +
-                                  " bytes cannot fit in two fragments");
-        }
-        // "the sender DJVM ... inserts the DGnetworkEventId of the send
-        // event at the end of the data segment" — the id is
-        // <dJVMId, dJVMgc>, reproduced in replay because gc is enforced.
-        DgNetworkEventId id{vm_.vm_id(), gc};
-        if (packet.data.size() + replay::kTagTrailerSize +
-                replay::kRelTrailerSize <=
-            vm_.network().config().max_datagram) {
-          send_frame(packet.address,
-                     replay::encode_tagged(id, packet.data));
-        } else {
-          auto [front, rear] = replay::encode_split(id, packet.data,
-                                                    fragment_capacity());
-          send_frame(packet.address, front);
-          send_frame(packet.address, rear);
-        }
-      } else if (vm_.mode() == Mode::kRecord) {
-        // Open-world destination: raw during record, nothing during replay
-        // ("need not be sent again").
-        port_->send_to(packet.address, packet.data);
-      }
-      return crc_aux(packet.data);
-    });
+    vm_.critical_event(
+        EventKind::kUdpSend,
+        [&](GlobalCount gc) {
+          if (tagged) {
+            if (packet.data.size() > max_app_payload()) {
+              throw net::NetError(NetErrorCode::kMessageTooLarge,
+                                  "payload of " +
+                                      std::to_string(packet.data.size()) +
+                                      " bytes cannot fit in two fragments");
+            }
+            // "the sender DJVM ... inserts the DGnetworkEventId of the send
+            // event at the end of the data segment" — the id is
+            // <dJVMId, dJVMgc>, reproduced in replay because gc is enforced.
+            DgNetworkEventId id{vm_.vm_id(), gc};
+            if (packet.data.size() + replay::kTagTrailerSize +
+                    replay::kRelTrailerSize <=
+                vm_.network().config().max_datagram) {
+              send_frame(packet.address,
+                         replay::encode_tagged(id, packet.data));
+            } else {
+              auto [front, rear] = replay::encode_split(id, packet.data,
+                                                        fragment_capacity());
+              send_frame(packet.address, front);
+              send_frame(packet.address, rear);
+            }
+          } else if (vm_.mode() == Mode::kRecord) {
+            // Open-world destination: raw during record, nothing during replay
+            // ("need not be sent again").
+            port_->send_to(packet.address, packet.data);
+          }
+          return crc_aux(packet.data);
+        },
+        0, this);
   };
 
   if (vm_.mode() == Mode::kRecord) {
@@ -184,7 +187,7 @@ void DatagramSocket::send(const DatagramPacket& packet) {
       vm_.replay_log()->network.find(st.num, en);
   if (entry != nullptr && entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kUdpSend,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw SocketException(entry->error, "udp send (recorded failure)");
   }
   try {
@@ -286,7 +289,7 @@ DatagramPacket DatagramSocket::receive() {
         e.data = got.payload;  // open-world content
       }
       vm_.network_log().append(st.num, std::move(e));
-      vm_.mark_event(EventKind::kUdpReceive, crc_aux(got.payload));
+      vm_.mark_event(EventKind::kUdpReceive, crc_aux(got.payload), this);
       return {std::move(got.payload), got.source};
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
@@ -295,7 +298,7 @@ DatagramPacket DatagramSocket::receive() {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpReceive,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       if (err.code() == NetErrorCode::kTimedOut) {
         throw SocketTimeoutException("udp receive");
       }
@@ -311,7 +314,7 @@ DatagramPacket DatagramSocket::receive() {
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kUdpReceive,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     if (entry->error == NetErrorCode::kTimedOut) {
       throw SocketTimeoutException("udp receive (recorded timeout)");
     }
@@ -320,7 +323,7 @@ DatagramPacket DatagramSocket::receive() {
   net::SocketAddress source = decode_addr(*entry->value);
   if (entry->data) {
     // Open-world source: recorded content, no network.
-    vm_.mark_event(EventKind::kUdpReceive, crc_aux(*entry->data));
+    vm_.mark_event(EventKind::kUdpReceive, crc_aux(*entry->data), this);
     return {*entry->data, source};
   }
   const DgNetworkEventId want = *entry->dg_id;
@@ -348,13 +351,16 @@ void DatagramSocket::close() {
   }
   sched::ThreadState& st = vm_.current_state();
   st.take_network_event_num();
-  vm_.critical_event(EventKind::kUdpClose, [&](GlobalCount) {
-    if (vm_.mode() == Mode::kRecord) {
-      port_->close();
-    }
-    // Replay: physical close deferred to destruction (header comment).
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kUdpClose,
+      [&](GlobalCount) {
+        if (vm_.mode() == Mode::kRecord) {
+          port_->close();
+        }
+        // Replay: physical close deferred to destruction (header comment).
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 void MulticastSocket::join_group(net::SocketAddress group) {
@@ -368,13 +374,16 @@ void MulticastSocket::join_group(net::SocketAddress group) {
     // Eager join (before the mark): reliable retransmission starts reaching
     // this socket as soon as membership exists.
     vm_.network().join_group(group, local_address());
-    vm_.mark_event(EventKind::kMcastJoin, encode_addr(group));
+    vm_.mark_event(EventKind::kMcastJoin, encode_addr(group), this);
     return;
   }
-  vm_.critical_event(EventKind::kMcastJoin, [&](GlobalCount) {
-    vm_.network().join_group(group, local_address());
-    return encode_addr(group);
-  });
+  vm_.critical_event(
+      EventKind::kMcastJoin,
+      [&](GlobalCount) {
+        vm_.network().join_group(group, local_address());
+        return encode_addr(group);
+      },
+      0, this);
 }
 
 void MulticastSocket::leave_group(net::SocketAddress group) {
@@ -384,14 +393,17 @@ void MulticastSocket::leave_group(net::SocketAddress group) {
   }
   sched::ThreadState& st = vm_.current_state();
   st.take_network_event_num();
-  vm_.critical_event(EventKind::kMcastLeave, [&](GlobalCount) {
-    if (vm_.mode() == Mode::kRecord) {
-      vm_.network().leave_group(group, local_address());
-    }
-    // Replay: deferred (extra deliveries are ignored; a premature leave
-    // could starve the replayer).
-    return encode_addr(group);
-  });
+  vm_.critical_event(
+      EventKind::kMcastLeave,
+      [&](GlobalCount) {
+        if (vm_.mode() == Mode::kRecord) {
+          vm_.network().leave_group(group, local_address());
+        }
+        // Replay: deferred (extra deliveries are ignored; a premature leave
+        // could starve the replayer).
+        return encode_addr(group);
+      },
+      0, this);
 }
 
 }  // namespace djvu::vm

@@ -18,7 +18,8 @@ void Monitor::enter() {
   if (owner_.load(std::memory_order_relaxed) == std::int64_t{self}) {
     // Reentrant acquisition: non-blocking, still a critical event.
     ++depth_;
-    vm_.mark_event(EventKind::kMonitorEnter, static_cast<std::uint64_t>(depth_));
+    vm_.mark_event(EventKind::kMonitorEnter,
+                   static_cast<std::uint64_t>(depth_), this);
     return;
   }
   if (vm_.mode() == Mode::kReplay) {
@@ -35,7 +36,7 @@ void Monitor::enter() {
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
     depth_ = 1;
-    vm_.mark_event(EventKind::kMonitorEnter, 1);  // no-op in passthrough
+    vm_.mark_event(EventKind::kMonitorEnter, 1, this);  // no-op in passthrough
   }
 }
 
@@ -43,18 +44,22 @@ void Monitor::exit() {
   check_owner("Monitor::exit");
   if (depth_ > 1) {
     --depth_;
-    vm_.mark_event(EventKind::kMonitorExit, static_cast<std::uint64_t>(depth_));
+    vm_.mark_event(EventKind::kMonitorExit,
+                   static_cast<std::uint64_t>(depth_), this);
     return;
   }
   // Real release *inside* the GC-critical section: exit-tick happens-before
   // any later enter-tick, which is what makes replay-time acquisition
   // non-blocking.
-  vm_.critical_event(EventKind::kMonitorExit, [&](GlobalCount) {
-    depth_ = 0;
-    owner_.store(kNoOwner, std::memory_order_relaxed);
-    mutex_.unlock();
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kMonitorExit,
+      [&](GlobalCount) {
+        depth_ = 0;
+        owner_.store(kNoOwner, std::memory_order_relaxed);
+        mutex_.unlock();
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 void Monitor::wait() {
@@ -63,12 +68,15 @@ void Monitor::wait() {
 
   if (vm_.mode() == Mode::kReplay) {
     // Release at the recorded kWaitRelease turn...
-    vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
-      depth_ = 0;
-      owner_.store(kNoOwner, std::memory_order_relaxed);
-      mutex_.unlock();
-      return std::uint64_t{0};
-    });
+    vm_.critical_event(
+        EventKind::kWaitRelease,
+        [&](GlobalCount) {
+          depth_ = 0;
+          owner_.store(kNoOwner, std::memory_order_relaxed);
+          mutex_.unlock();
+          return std::uint64_t{0};
+        },
+        0, this);
     // ...and skip the condition variable entirely: the schedule already
     // places the matching notify before our kWaitReacquire event.
     vm_.replay_turn_begin();
@@ -83,17 +91,20 @@ void Monitor::wait() {
   // the mutex (so the release tick precedes any successor's enter tick),
   // then let cv_.wait perform the atomic unlock+sleep — a notifier must
   // hold the monitor, so it cannot run before we are inside wait().
-  vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
-    depth_ = 0;
-    owner_.store(kNoOwner, std::memory_order_relaxed);
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kWaitRelease,
+      [&](GlobalCount) {
+        depth_ = 0;
+        owner_.store(kNoOwner, std::memory_order_relaxed);
+        return std::uint64_t{0};
+      },
+      0, this);
   std::unique_lock<std::mutex> lk(mutex_, std::adopt_lock);
   cv_.wait(lk);
   lk.release();  // keep holding; we own the monitor again
   owner_.store(self, std::memory_order_relaxed);
   depth_ = saved_depth;
-  vm_.mark_event(EventKind::kWaitReacquire, 0);
+  vm_.mark_event(EventKind::kWaitReacquire, 0, this);
 }
 
 void Monitor::wait_for(std::chrono::milliseconds timeout) {
@@ -101,12 +112,15 @@ void Monitor::wait_for(std::chrono::milliseconds timeout) {
   int saved_depth = depth_;
 
   if (vm_.mode() == Mode::kReplay) {
-    vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
-      depth_ = 0;
-      owner_.store(kNoOwner, std::memory_order_relaxed);
-      mutex_.unlock();
-      return std::uint64_t{0};
-    });
+    vm_.critical_event(
+        EventKind::kWaitRelease,
+        [&](GlobalCount) {
+          depth_ = 0;
+          owner_.store(kNoOwner, std::memory_order_relaxed);
+          mutex_.unlock();
+          return std::uint64_t{0};
+        },
+        0, this);
     vm_.replay_turn_begin();
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
@@ -115,33 +129,42 @@ void Monitor::wait_for(std::chrono::milliseconds timeout) {
     return;
   }
 
-  vm_.critical_event(EventKind::kWaitRelease, [&](GlobalCount) {
-    depth_ = 0;
-    owner_.store(kNoOwner, std::memory_order_relaxed);
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kWaitRelease,
+      [&](GlobalCount) {
+        depth_ = 0;
+        owner_.store(kNoOwner, std::memory_order_relaxed);
+        return std::uint64_t{0};
+      },
+      0, this);
   std::unique_lock<std::mutex> lk(mutex_, std::adopt_lock);
   cv_.wait_for(lk, timeout);  // timeout vs notify: both are just a reacquire
   lk.release();
   owner_.store(self, std::memory_order_relaxed);
   depth_ = saved_depth;
-  vm_.mark_event(EventKind::kWaitReacquire, 0);
+  vm_.mark_event(EventKind::kWaitReacquire, 0, this);
 }
 
 void Monitor::notify() {
   check_owner("Monitor::notify");
-  vm_.critical_event(EventKind::kNotify, [&](GlobalCount) {
-    if (vm_.mode() != Mode::kReplay) cv_.notify_one();
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kNotify,
+      [&](GlobalCount) {
+        if (vm_.mode() != Mode::kReplay) cv_.notify_one();
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 void Monitor::notify_all() {
   check_owner("Monitor::notify_all");
-  vm_.critical_event(EventKind::kNotifyAll, [&](GlobalCount) {
-    if (vm_.mode() != Mode::kReplay) cv_.notify_all();
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kNotifyAll,
+      [&](GlobalCount) {
+        if (vm_.mode() != Mode::kReplay) cv_.notify_all();
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 }  // namespace djvu::vm

@@ -91,10 +91,16 @@ class SharedVar {
   T get() {
     if (!vm_.instrumented()) return cell_.load();  // plain JVM: a raw load
     T out{};
-    vm_.critical_event(sched::EventKind::kSharedRead, [&](GlobalCount) {
-      out = cell_.load();
-      return static_cast<std::uint64_t>(std::hash<T>{}(out));
-    });
+    // Conflict key `this`: the cell has no lock of its own, so same-var
+    // accesses MUST share a stripe — their stores/loads then serialize in
+    // counter order (independent vars record in parallel).
+    vm_.critical_event(
+        sched::EventKind::kSharedRead,
+        [&](GlobalCount) {
+          out = cell_.load();
+          return static_cast<std::uint64_t>(std::hash<T>{}(out));
+        },
+        0, this);
     return out;
   }
 
@@ -104,11 +110,14 @@ class SharedVar {
       cell_.store(std::move(v));
       return;
     }
-    vm_.critical_event(sched::EventKind::kSharedWrite, [&](GlobalCount) {
-      std::uint64_t aux = static_cast<std::uint64_t>(std::hash<T>{}(v));
-      cell_.store(std::move(v));
-      return aux;
-    });
+    vm_.critical_event(
+        sched::EventKind::kSharedWrite,
+        [&](GlobalCount) {
+          std::uint64_t aux = static_cast<std::uint64_t>(std::hash<T>{}(v));
+          cell_.store(std::move(v));
+          return aux;
+        },
+        0, this);
   }
 
   /// Unsynchronized read-modify-write: get() then set(f(old)) — TWO

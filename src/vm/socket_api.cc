@@ -89,7 +89,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
 
   // create event (§4.1.2 lists create among the native calls).
   st.take_network_event_num();
-  vm_.mark_event(EventKind::kSockCreate, 0);
+  vm_.mark_event(EventKind::kSockCreate, 0, this);
 
   const EventNum en = st.take_network_event_num();
   const ConnectionId my_id{vm_.vm_id(), st.num, en};
@@ -112,7 +112,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
         e.value = 1;
         vm_.network_log().append(st.num, std::move(e));
       }
-      vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+      vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id), this);
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
       e.kind = EventKind::kSockConnect;
@@ -120,7 +120,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockConnect,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "connect to " + to_string(remote_));
     }
     return;
@@ -132,7 +132,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
   if (entry != nullptr && entry->error != NetErrorCode::kNone) {
     // Re-throw the recorded exception without executing the connect.
     vm_.mark_event(EventKind::kSockConnect,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw_recorded(entry->error, "connect to " + to_string(remote_));
   }
   if (!peer_is_djvm_) {
@@ -142,7 +142,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
       throw ReplayDivergenceError("replay connect without recorded outcome");
     }
     virtual_ = true;
-    vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+    vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id), this);
     return;
   }
   // Closed-world: re-execute the connect eagerly and re-send the meta data.
@@ -168,7 +168,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
   conn_->write(encode_meta(my_id));
   // "DJVM-client ensures that the connect call returns only when the
   // globalCounter for this critical event is reached."
-  vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id));
+  vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id), this);
 }
 
 Socket::Socket(Vm& vm, std::shared_ptr<net::TcpConnection> conn,
@@ -201,14 +201,17 @@ void Socket::close() {
   }
   sched::ThreadState& st = vm_.current_state();
   st.take_network_event_num();
-  vm_.critical_event(EventKind::kSockClose, [&](GlobalCount) {
-    if (vm_.mode() == Mode::kRecord) {
-      if (conn_) conn_->close();
-    } else if (conn_) {
-      conn_->shutdown_write();  // replay: see header comment
-    }
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kSockClose,
+      [&](GlobalCount) {
+        if (vm_.mode() == Mode::kRecord) {
+          if (conn_) conn_->close();
+        } else if (conn_) {
+          conn_->shutdown_write();  // replay: see header comment
+        }
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 // ---------------------------------------------------------------------------
@@ -249,7 +252,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
       e.value = n;
       if (!peer_is_djvm_) e.data = Bytes(out, out + n);  // open-world content
       vm_.network_log().append(st.num, std::move(e));
-      vm_.mark_event(EventKind::kSockRead, crc_aux({out, n}));
+      vm_.mark_event(EventKind::kSockRead, crc_aux({out, n}), this);
       return n;
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
@@ -258,7 +261,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockRead,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "read");
     }
   }
@@ -271,7 +274,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kSockRead,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw_recorded(entry->error, "read");
   }
   if (entry->data) {
@@ -282,7 +285,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
           "recorded read content larger than the replayed buffer");
     }
     std::memcpy(out, d.data(), d.size());
-    vm_.mark_event(EventKind::kSockRead, crc_aux(d));
+    vm_.mark_event(EventKind::kSockRead, crc_aux(d), this);
     return d.size();
   }
   const std::size_t m = static_cast<std::size_t>(*entry->value);
@@ -330,7 +333,7 @@ std::size_t Socket::do_available() {
     e.event_num = en;
     e.value = n;
     vm_.network_log().append(st.num, std::move(e));
-    vm_.mark_event(EventKind::kSockAvailable, n);
+    vm_.mark_event(EventKind::kSockAvailable, n, this);
     return n;
   }
 
@@ -341,7 +344,7 @@ std::size_t Socket::do_available() {
   }
   const std::size_t m = static_cast<std::size_t>(*entry->value);
   if (virtual_) {
-    vm_.mark_event(EventKind::kSockAvailable, m);
+    vm_.mark_event(EventKind::kSockAvailable, m, this);
     return m;
   }
   // "the available event can potentially block until it returns the
@@ -373,10 +376,13 @@ void Socket::do_write(BytesView data) {
       // write is non-blocking: executed inside the GC-critical section,
       // "similar to how we handle critical events corresponding to shared
       // variable updates".
-      vm_.critical_event(EventKind::kSockWrite, [&](GlobalCount) {
-        conn_->write(data);
-        return crc_aux(data);
-      });
+      vm_.critical_event(
+          EventKind::kSockWrite,
+          [&](GlobalCount) {
+            conn_->write(data);
+            return crc_aux(data);
+          },
+          0, this);
     } catch (const net::NetError& err) {
       // The event already ticked (a throwing event still happened); log the
       // exception for replay.
@@ -395,12 +401,14 @@ void Socket::do_write(BytesView data) {
       vm_.replay_log()->network.find(st.num, en);
   if (entry != nullptr && entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kSockWrite,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw_recorded(entry->error, "write");
   }
   std::lock_guard<std::mutex> fd(write_mutex_);
-  vm_.critical_event(EventKind::kSockWrite, [&](GlobalCount) {
-    if (conn_ != nullptr && !virtual_) {
+  vm_.critical_event(
+      EventKind::kSockWrite,
+      [&](GlobalCount) {
+        if (conn_ != nullptr && !virtual_) {
       try {
         conn_->write(data);
       } catch (const net::NetError& err) {
@@ -409,10 +417,11 @@ void Socket::do_write(BytesView data) {
             err.what());
       }
     }
-    // Virtual socket: "any message sent to a non-DJVM thread during the
-    // record phase need not be sent again during the replay phase."
-    return crc_aux(data);
-  });
+        // Virtual socket: "any message sent to a non-DJVM thread during
+        // the record phase need not be sent again during the replay phase."
+        return crc_aux(data);
+      },
+      0, this);
 }
 
 std::size_t InputStream::read(std::uint8_t* out, std::size_t max) {
@@ -447,7 +456,7 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
   sched::ThreadState& st = vm_.current_state();
 
   st.take_network_event_num();
-  vm_.mark_event(EventKind::kSockCreate, 0);
+  vm_.mark_event(EventKind::kSockCreate, 0, this);
 
   const EventNum en = st.take_network_event_num();
   if (vm_.mode() == Mode::kRecord) {
@@ -459,7 +468,7 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.event_num = en;
       e.value = port_;  // "the DJVM records its return value" (the port)
       vm_.network_log().append(st.num, std::move(e));
-      vm_.mark_event(EventKind::kSockBind, port_);
+      vm_.mark_event(EventKind::kSockBind, port_, this);
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
       e.kind = EventKind::kSockBind;
@@ -467,7 +476,7 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockBind,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "bind port " + std::to_string(port));
     }
   } else {
@@ -478,7 +487,7 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
     }
     if (entry->error != NetErrorCode::kNone) {
       vm_.mark_event(EventKind::kSockBind,
-                     static_cast<std::uint64_t>(entry->error));
+                     static_cast<std::uint64_t>(entry->error), this);
       throw_recorded(entry->error, "bind port " + std::to_string(port));
     }
     // "we execute the bind event, passing the recorded local port as
@@ -490,11 +499,11 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
       throw ReplayDivergenceError(
           std::string("recorded bind failed during replay: ") + err.what());
     }
-    vm_.mark_event(EventKind::kSockBind, port_);
+    vm_.mark_event(EventKind::kSockBind, port_, this);
   }
 
   st.take_network_event_num();
-  vm_.mark_event(EventKind::kSockListen, 0);
+  vm_.mark_event(EventKind::kSockListen, 0, this);
 }
 
 ServerSocket::~ServerSocket() {
@@ -515,16 +524,20 @@ void ServerSocket::close() {
   }
   sched::ThreadState& st = vm_.current_state();
   st.take_network_event_num();
-  vm_.critical_event(EventKind::kSockClose, [&](GlobalCount) {
-    if (vm_.mode() == Mode::kRecord) {
-      net::SocketAddress addr = listener_->address();
-      listener_->close();
-      vm_.network().unlisten(addr);
-    }
-    // Replay: the listener stays registered until destruction so eager
-    // re-executed connects cannot be refused by this close racing ahead.
-    return std::uint64_t{0};
-  });
+  vm_.critical_event(
+      EventKind::kSockClose,
+      [&](GlobalCount) {
+        if (vm_.mode() == Mode::kRecord) {
+          net::SocketAddress addr = listener_->address();
+          listener_->close();
+          vm_.network().unlisten(addr);
+        }
+        // Replay: the listener stays registered until destruction so eager
+        // re-executed connects cannot be refused by this close racing
+        // ahead.
+        return std::uint64_t{0};
+      },
+      0, this);
 }
 
 std::unique_ptr<Socket> ServerSocket::accept() {
@@ -576,7 +589,7 @@ std::unique_ptr<Socket> ServerSocket::accept() {
         vm_.network_log().append(st.num, std::move(e));
       }
       vm_.mark_event(EventKind::kSockAccept,
-                     peer_djvm ? conn_id_aux(client_id) : 0);
+                     peer_djvm ? conn_id_aux(client_id) : 0, this);
       return std::unique_ptr<Socket>(
           new Socket(vm_, std::move(conn), peer_djvm));
     } catch (const net::NetError& err) {
@@ -586,7 +599,7 @@ std::unique_ptr<Socket> ServerSocket::accept() {
       e.error = err.code();
       vm_.network_log().append(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockAccept,
-                     static_cast<std::uint64_t>(err.code()));
+                     static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "accept");
     }
   }
@@ -599,13 +612,13 @@ std::unique_ptr<Socket> ServerSocket::accept() {
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kSockAccept,
-                   static_cast<std::uint64_t>(entry->error));
+                   static_cast<std::uint64_t>(entry->error), this);
     throw_recorded(entry->error, "accept");
   }
   if (!entry->conn_id) {
     // Open-world peer: virtual socket fed from recorded content.
     net::SocketAddress remote = decode_addr(*entry->value);
-    vm_.mark_event(EventKind::kSockAccept, 0);
+    vm_.mark_event(EventKind::kSockAccept, 0, this);
     return std::unique_ptr<Socket>(new Socket(vm_, remote, true));
   }
   const ConnectionId want = *entry->conn_id;
@@ -620,7 +633,7 @@ std::unique_ptr<Socket> ServerSocket::accept() {
     c->read_fully(meta, kMetaSize);
     return std::make_pair(decode_meta({meta, kMetaSize}), std::move(c));
   });
-  vm_.mark_event(EventKind::kSockAccept, conn_id_aux(want));
+  vm_.mark_event(EventKind::kSockAccept, conn_id_aux(want), this);
   return std::unique_ptr<Socket>(new Socket(vm_, std::move(conn), true));
 }
 

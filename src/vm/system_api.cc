@@ -31,10 +31,16 @@ std::uint64_t recorded_query(Vm& vm, std::uint64_t (*query)()) {
 
   if (vm.mode() == Mode::kRecord) {
     std::uint64_t value = 0;
-    vm.critical_event(EventKind::kTimeRead, [&](GlobalCount) {
-      value = query();
-      return value;
-    });
+    // A time read touches no shared object, so it conflicts with nothing:
+    // the default thread-local key lets concurrent time reads record in
+    // parallel under sharding.
+    vm.critical_event(
+        EventKind::kTimeRead,
+        [&](GlobalCount) {
+          value = query();
+          return value;
+        },
+        0, kThreadLocalConflict);
     record::NetworkLogEntry e;
     e.kind = EventKind::kTimeRead;
     e.event_num = en;

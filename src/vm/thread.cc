@@ -5,12 +5,18 @@ namespace djvu::vm {
 VmThread::VmThread(Vm& vm, std::function<void()> fn)
     : vm_(&vm), error_(std::make_shared<std::exception_ptr>()) {
   // The spawn is a critical event of the *parent*; registration happens
-  // inside the event body so creation order is part of the schedule.
+  // inside the event body so creation order is part of the schedule.  All
+  // spawns share one conflict key (the registry): concurrent spawns on
+  // different stripes could otherwise draw thread numbers inconsistent
+  // with their counter order, breaking replay's threadNum determinism.
   sched::ThreadState* child_state = nullptr;
-  vm.critical_event(sched::EventKind::kThreadStart, [&](GlobalCount) {
-    child_state = &vm.register_child_thread();
-    return std::uint64_t{child_state->num};
-  });
+  vm.critical_event(
+      sched::EventKind::kThreadStart,
+      [&](GlobalCount) {
+        child_state = &vm.register_child_thread();
+        return std::uint64_t{child_state->num};
+      },
+      0, &vm.registry_);
   num_ = child_state->num;
 
   auto error = error_;
@@ -27,6 +33,9 @@ VmThread::VmThread(Vm& vm, std::function<void()> fn)
       vm_ptr->poison();
     }
     vm_ptr->runner_ended();
+    // Publish this thread's buffered trace records before the thread goes
+    // away (after this point only end-of-phase flushes would see them).
+    vm_ptr->flush_trace(*child_state);
     Vm::bind_current(nullptr, nullptr);
   });
 }

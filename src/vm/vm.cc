@@ -1,5 +1,6 @@
 #include "vm/vm.h"
 
+#include <cstdint>
 #include <exception>
 #include <string>
 #include <thread>
@@ -24,7 +25,13 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
     : network_(std::move(network)),
       config_(std::move(config)),
       replay_log_(std::move(replay_log)),
-      counter_(config_.stall_timeout) {
+      // Only the record phase ever enters GC-critical sections; replay's
+      // turn-waiting is layout-independent, so it always gets the plain
+      // counter.
+      counter_(config_.stall_timeout,
+               config_.mode == Mode::kRecord && config_.record_sharding
+                   ? config_.record_stripes
+                   : 0) {
   if ((config_.mode == Mode::kReplay) != (replay_log_ != nullptr)) {
     throw UsageError("replay log must be supplied exactly in replay mode");
   }
@@ -79,6 +86,7 @@ void Vm::detach_current() {
   if (t_binding.vm != this) {
     throw UsageError("detach_current: thread not bound to this Vm");
   }
+  if (t_binding.state != nullptr) flush_trace(*t_binding.state);
   t_binding = {};
   counter_.runner_ended();
 }
@@ -136,10 +144,28 @@ void Vm::resume_replay(GlobalCount checkpoint_gc,
   counter_.advance_to(checkpoint_gc + 1);
 }
 
+void Vm::flush_trace(sched::ThreadState& state) {
+  if (state.trace_buf.empty()) return;
+  trace_.append_batch(state.trace_buf);
+  state.trace_buf.clear();
+}
+
+void Vm::flush_all_traces() {
+  registry_.for_each([this](sched::ThreadState& s) { flush_trace(s); });
+}
+
+const sched::ExecutionTrace& Vm::trace() {
+  if (t_binding.vm == this && t_binding.state != nullptr) {
+    flush_trace(*t_binding.state);
+  }
+  return trace_;
+}
+
 record::VmLog Vm::finish_record() {
   if (config_.mode != Mode::kRecord) {
     throw UsageError("finish_record on a Vm not in record mode");
   }
+  flush_all_traces();
   record::VmLog log;
   log.vm_id = config_.vm_id;
   log.schedule.per_thread = registry_.collect_intervals();
@@ -153,6 +179,7 @@ void Vm::finish_replay() {
   if (config_.mode != Mode::kReplay) {
     throw UsageError("finish_replay on a Vm not in replay mode");
   }
+  flush_all_traces();
   const auto& per_thread = replay_log_->schedule.per_thread;
   std::size_t recorded_threads = 0;
   for (const auto& list : per_thread) {
@@ -189,7 +216,9 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
     nw_events_.fetch_add(1, std::memory_order_relaxed);
   }
   if (config_.keep_trace) {
-    trace_.append({gc, state.num, kind, aux});
+    // Buffered locally; merged into trace_ when this thread finishes (or
+    // on explicit trace() access) — no cross-thread lock per event.
+    state.trace_buf.push_back({gc, state.num, kind, aux});
   }
   if (observer_) {
     observer_(sched::TraceRecord{gc, state.num, kind, aux});
@@ -197,7 +226,7 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
 }
 
 GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
-                               std::uint64_t fixed_aux) {
+                               std::uint64_t fixed_aux, ConflictKey conflict) {
   std::uint64_t aux = fixed_aux;
   switch (config_.mode) {
     case Mode::kPassthrough:
@@ -212,7 +241,7 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
       // still happened: it must tick and be recorded so replay can re-throw
       // at the same schedule position.
       std::exception_ptr raised;
-      GlobalCount gc = counter_.with_section([&](GlobalCount g) {
+      const auto section_body = [&](GlobalCount g) {
         try {
           if (body) aux = body(g);
         } catch (const net::NetError& e) {
@@ -224,7 +253,21 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
           raised = std::current_exception();
         }
         state.recorder.on_event(g);
-      });
+      };
+      GlobalCount gc;
+      if (conflict == kGlobalConflict) {
+        gc = counter_.with_exclusive_section(section_body);
+      } else {
+        // Thread-local events key on the thread number, made odd so it can
+        // never collide with an aligned object address.  With sharding off
+        // the key is ignored (single section).
+        const sched::SectionKey key =
+            conflict == kThreadLocalConflict
+                ? (std::uint64_t{state.num} << 1) | 1
+                : static_cast<sched::SectionKey>(
+                      reinterpret_cast<std::uintptr_t>(conflict));
+        gc = counter_.with_section(key, section_body);
+      }
       after_event(state, kind, aux, gc);
       if (raised) std::rethrow_exception(raised);
       return gc;
@@ -252,8 +295,9 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
   throw UsageError("unreachable");
 }
 
-GlobalCount Vm::mark_event(sched::EventKind kind, std::uint64_t aux) {
-  return critical_event(kind, nullptr, aux);
+GlobalCount Vm::mark_event(sched::EventKind kind, std::uint64_t aux,
+                           ConflictKey conflict) {
+  return critical_event(kind, nullptr, aux, conflict);
 }
 
 GlobalCount Vm::replay_turn_begin() {

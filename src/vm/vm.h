@@ -68,6 +68,21 @@ struct VmConfig {
   /// measurements (tracing is not part of the paper's record cost).
   bool keep_trace = true;
 
+  /// Record-mode section layout.  true = sharded GC-critical sections: a
+  /// `record_stripes`-way lock table keyed by each event's conflict object,
+  /// with the counter value assigned by an atomic fetch_add while the
+  /// object's stripe is held — events on independent objects record in
+  /// parallel.  false = the paper's single global section (the ablation
+  /// baseline for EXPERIMENTS.md).  Replay is unaffected either way: the
+  /// log format and the replayed total order are identical, so a recording
+  /// made in either layout replays under any setting.
+  bool record_sharding = true;
+
+  /// Stripes in the sharded lock table (record_sharding only).  More
+  /// stripes = fewer hash collisions between independent objects, at ~64
+  /// bytes each.
+  std::size_t record_stripes = 64;
+
   /// Replay stall detector window: a turn-wait that sees no counter
   /// progress for this long — while every bound thread is itself parked on
   /// a turn, so progress is impossible — aborts with
@@ -91,6 +106,25 @@ struct VmConfig {
   /// Seed for the chaos generator (per-VM stream).
   std::uint64_t chaos_seed = 1;
 };
+
+/// Conflict key of a critical event under record sharding: identifies the
+/// object the event conflicts on.  Events with different keys may execute
+/// their GC-critical sections concurrently; same-key events stay mutually
+/// exclusive with their counter numbering.
+///   - an object address (SharedVar, Monitor, socket wrapper): conflicting
+///     accesses to that object serialize on its stripe;
+///   - kThreadLocalConflict: the event touches no shared object — it is
+///     keyed per-thread (an odd key derived from the thread number, which
+///     can never collide with an aligned object address);
+///   - kGlobalConflict: the event's body snapshots state owned by arbitrary
+///     other objects (checkpoint barriers) and must exclude every
+///     concurrent event — it takes the whole stripe table.
+using ConflictKey = const void*;
+inline constexpr ConflictKey kThreadLocalConflict = nullptr;
+namespace internal {
+inline constexpr char kGlobalConflictTag = 0;
+}  // namespace internal
+inline constexpr ConflictKey kGlobalConflict = &internal::kGlobalConflictTag;
 
 /// One virtual machine.
 class Vm {
@@ -142,8 +176,11 @@ class Vm {
 
   // --- introspection -----------------------------------------------------------
 
-  /// Execution trace (empty when keep_trace is false).
-  const sched::ExecutionTrace& trace() const { return trace_; }
+  /// Execution trace (empty when keep_trace is false).  Non-const: records
+  /// are buffered per thread on the hot path, so this first flushes the
+  /// calling thread's buffer (when the caller is bound to this Vm) — other
+  /// threads' buffers merge when those threads finish or detach.
+  const sched::ExecutionTrace& trace();
 
   /// Critical events executed so far (the global counter).
   GlobalCount critical_events() const { return counter_.value(); }
@@ -186,14 +223,18 @@ class Vm {
   /// action (record) / executed at its recorded turn (replay) / plain call
   /// (passthrough).  Returns the event's global counter value (0 in
   /// passthrough).  When `body` is null the event is a pure mark and
-  /// `fixed_aux` is traced.
+  /// `fixed_aux` is traced.  `conflict` is the record-sharding key (see
+  /// ConflictKey); replay ignores it — the recorded total order already
+  /// serializes everything.
   GlobalCount critical_event(sched::EventKind kind,
                              const EventBody& body = nullptr,
-                             std::uint64_t fixed_aux = 0);
+                             std::uint64_t fixed_aux = 0,
+                             ConflictKey conflict = kThreadLocalConflict);
 
   /// Marks an already-executed blocking event (the paper's marking
   /// strategy): equivalent to critical_event with an empty body.
-  GlobalCount mark_event(sched::EventKind kind, std::uint64_t aux);
+  GlobalCount mark_event(sched::EventKind kind, std::uint64_t aux,
+                         ConflictKey conflict = kThreadLocalConflict);
 
   /// Replay only: blocks until the calling thread's next critical event's
   /// turn and returns its global counter value (without ticking).
@@ -243,6 +284,14 @@ class Vm {
 
   void after_event(sched::ThreadState& state, sched::EventKind kind,
                    std::uint64_t aux, GlobalCount gc);
+
+  /// Merges one thread's buffered trace records into trace_.  Called by the
+  /// owning thread (thread end, detach, trace()) or at end of phase when
+  /// all threads have quiesced.
+  void flush_trace(sched::ThreadState& state);
+
+  /// Merges every thread's buffer (end of phase; all threads finished).
+  void flush_all_traces();
 
   std::shared_ptr<net::Network> network_;
   VmConfig config_;

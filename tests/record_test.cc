@@ -188,6 +188,16 @@ TEST(TextExport, MentionsKeyFields) {
 TEST(LogPayloadSize, ExcludesFraming) {
   VmLog log = sample_log();
   EXPECT_EQ(log_payload_size(log), serialize(log).size() - 18);
+  EXPECT_EQ(kLogFramingBytes, 18u);
+}
+
+TEST(LogPayloadSize, BufferOverloadMatchesLogOverload) {
+  VmLog log = sample_log();
+  const Bytes serialized = serialize(log);
+  // The buffer overload must agree with the serialize-internally overload,
+  // and both must pin payload == bundle − framing.
+  EXPECT_EQ(log_payload_size(serialized), log_payload_size(log));
+  EXPECT_EQ(log_payload_size(serialized), serialized.size() - kLogFramingBytes);
 }
 
 }  // namespace

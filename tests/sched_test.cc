@@ -140,6 +140,116 @@ TEST(GlobalCounter, WithSectionCountsSections) {
   EXPECT_EQ(s.ticks, 0u);
 }
 
+TEST(GlobalCounter, ShardedSectionsAssignUniqueValues) {
+  GlobalCounter c(std::chrono::milliseconds(10000), /*record_stripes=*/8);
+  EXPECT_EQ(c.record_stripes(), 8u);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<GlobalCount> seen[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Alternate between a per-thread key and one shared hot key, so
+        // both the independent and the colliding paths are exercised.
+        const SectionKey key = (i % 3 == 0) ? 0xdead : (0x1000u + t);
+        c.with_section(key, [&](GlobalCount g) { seen[t].push_back(g); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), GlobalCount{kThreads * kPerThread});
+  // Every assigned value is unique: fetch_add under the stripe never hands
+  // two events the same number, whatever stripe they hashed to.
+  std::vector<GlobalCount> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+  EXPECT_EQ(c.stats().sections, static_cast<std::uint64_t>(all.size()));
+}
+
+TEST(GlobalCounter, ShardedSameKeySectionsAreMutuallyExclusive) {
+  GlobalCounter c(std::chrono::milliseconds(10000), /*record_stripes=*/16);
+  // All threads bump a PLAIN int under the same key; any overlap of the
+  // sections would be a lost update (and a TSan report).
+  int plain = 0;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.with_section(SectionKey{42}, [&](GlobalCount) { ++plain; });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(plain, kThreads * kPerThread);
+}
+
+TEST(GlobalCounter, ExclusiveSectionExcludesEveryStripe) {
+  GlobalCounter c(std::chrono::milliseconds(10000), /*record_stripes=*/4);
+  // Writers on DIFFERENT keys each own a distinct slot, so they never race
+  // each other; the exclusive section reads all slots and must always see
+  // a frozen snapshot (sum equals a value no writer is mid-way through).
+  int slots[4] = {0, 0, 0, 0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.with_section(SectionKey(0x100u + t), [&](GlobalCount) {
+          // Torn on purpose: anyone overlapping this section sees odd sums.
+          ++slots[t];
+          ++slots[t];
+        });
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    c.with_exclusive_section([&](GlobalCount) {
+      const int sum = slots[0] + slots[1] + slots[2] + slots[3];
+      EXPECT_EQ(sum % 2, 0) << "exclusive section overlapped a writer";
+    });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+}
+
+TEST(GlobalCounter, SectionContentionStatsCountBlockedEntries) {
+  GlobalCounter c(std::chrono::milliseconds(10000), /*record_stripes=*/8);
+  std::atomic<bool> inside{false};
+  std::thread holder([&] {
+    c.with_section(SectionKey{7}, [&](GlobalCount) {
+      inside.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+  });
+  while (!inside.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Same key while the holder sleeps inside: the try_lock must fail and the
+  // blocked entry must be counted and timed.
+  c.with_section(SectionKey{7}, [](GlobalCount) {});
+  holder.join();
+  const SchedStats s = c.stats();
+  EXPECT_EQ(s.stripe_count, 8u);
+  EXPECT_GE(s.stripe_waits, 1u);
+  EXPECT_GE(s.section_wait_micros, 1u);
+  EXPECT_GE(s.max_stripe_collisions, 1u);
+}
+
+TEST(GlobalCounter, UnshardedCounterReportsZeroStripes) {
+  GlobalCounter c;
+  EXPECT_EQ(c.record_stripes(), 0u);
+  // The keyed overload falls back to the single section.
+  GlobalCount a = c.with_section(SectionKey{1}, [](GlobalCount) {});
+  GlobalCount b = c.with_section(SectionKey{2}, [](GlobalCount) {});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c.stats().stripe_count, 0u);
+}
+
 // A checkpoint-style advance_to jumping past a parked waiter's turn is a
 // usage error at the advance_to call site — not a "schedule divergence"
 // for the innocent waiter.
@@ -360,6 +470,41 @@ TEST(Trace, LengthMismatchReported) {
   ExecutionTrace a, b;
   a.append({0, 0, EventKind::kSharedRead, 0});
   EXPECT_NE(ExecutionTrace::first_divergence(a, b), "");
+}
+
+// The cached sorted view must never serve stale data: every append (single
+// or batch) invalidates it, and repeated sorted()/digest() calls in between
+// return consistent results.
+TEST(Trace, SortedCacheInvalidatedByInterleavedAppends) {
+  ExecutionTrace t;
+  t.append({5, 0, EventKind::kSharedRead, 1});
+  auto s1 = t.sorted();
+  ASSERT_EQ(s1.size(), 1u);
+  const std::uint64_t d1 = t.digest();
+  EXPECT_EQ(t.digest(), d1);  // repeated digest: cache hit, same value
+
+  t.append({1, 1, EventKind::kSharedWrite, 2});
+  auto s2 = t.sorted();
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s2[0].gc, 1u);
+  EXPECT_EQ(s2[1].gc, 5u);
+  const std::uint64_t d2 = t.digest();
+  EXPECT_NE(d2, d1);
+
+  t.append_batch({{3, 0, EventKind::kNotify, 3}, {0, 2, EventKind::kNotify, 4}});
+  auto s3 = t.sorted();
+  ASSERT_EQ(s3.size(), 4u);
+  EXPECT_EQ(s3[0].gc, 0u);
+  EXPECT_EQ(s3[1].gc, 1u);
+  EXPECT_EQ(s3[2].gc, 3u);
+  EXPECT_EQ(s3[3].gc, 5u);
+  EXPECT_NE(t.digest(), d2);
+  EXPECT_EQ(t.sorted(), s3);  // cache hit after no append: identical
+
+  // An empty batch is a no-op and must not disturb the cache.
+  t.append_batch({});
+  EXPECT_EQ(t.sorted(), s3);
+  EXPECT_EQ(t.size(), 4u);
 }
 
 }  // namespace
