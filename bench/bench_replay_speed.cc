@@ -1,92 +1,193 @@
 // Ablation: native vs record vs replay wall time on the synthetic
-// benchmark, plus replay correctness across network seeds.
+// benchmark, with replay measured both under interval leasing (the
+// default) and under the paper-faithful per-event await/tick protocol.
 //
 // The paper measures only record overhead; replay time matters for the
-// tool's debugging loop and motivates the checkpointing future work this
-// repo implements in src/checkpoint.
+// tool's debugging loop and motivates both the checkpointing in
+// src/checkpoint and the interval leasing in the replay turn protocol
+// (one counter publication per logical schedule interval instead of one
+// per critical event — docs/INTERNALS.md §1b).
+//
+// Flags (mirroring bench_table1_closed's `--no-sharding` convention):
+//   --no-lease   measure only the per-event protocol (ablation baseline);
+//   --smoke      small grid, and exit nonzero if leased replay is >10%
+//                slower than non-leased — the CI regression tripwire.
+//
+// Emits BENCH_replay_speed.json.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 #include <vector>
 
+#include "bench/emit_json.h"
 #include "bench/workload.h"
 #include "sched/sched_stats.h"
 
-int main() {
-  using namespace djvu;
-  using namespace djvu::bench;
+namespace {
 
-  std::printf("Replay-speed ablation: native vs record vs replay\n\n");
-  std::printf("%9s %11s %11s %11s %14s %14s\n", "#threads", "native(s)",
-              "record(s)", "replay(s)", "rec ovhd(%)", "rep ovhd(%)");
+using namespace djvu;
+using namespace djvu::bench;
 
-  struct SchedRow {
-    int threads;
-    sched::SchedStats sum;
-  };
-  std::vector<SchedRow> sched_rows;
+struct ReplayMeasurement {
+  double seconds = 1e100;
+  sched::SchedStats sum;  // summed over VMs of the best run
+};
 
-  for (int threads : {2, 4, 8, 16}) {
+/// Best-of-`reps` replay of `rec`, verified against the recording.
+ReplayMeasurement measure_replay(core::Session& s, const core::RunResult& rec,
+                                 int reps, int seed_base) {
+  ReplayMeasurement best;
+  for (int i = 0; i < reps; ++i) {
+    auto r = s.replay(rec, seed_base + i);
+    core::verify(rec, r);
+    if (r.wall_seconds < best.seconds) {
+      best.seconds = r.wall_seconds;
+      best.sum = {};
+      for (const auto& info : r.vms) {
+        const sched::SchedStats& vs = info.sched;
+        best.sum.ticks += vs.ticks;
+        best.sum.waits_fast += vs.waits_fast;
+        best.sum.waits_parked += vs.waits_parked;
+        best.sum.wakeups_delivered += vs.wakeups_delivered;
+        best.sum.wakeups_spurious += vs.wakeups_spurious;
+        best.sum.stall_detections += vs.stall_detections;
+        best.sum.leases_taken += vs.leases_taken;
+        best.sum.leased_events += vs.leased_events;
+        best.sum.lease_publish_count += vs.lease_publish_count;
+        best.sum.max_parked_waiters =
+            std::max(best.sum.max_parked_waiters, vs.max_parked_waiters);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool leasing = true;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-lease") == 0) leasing = false;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("Replay-speed ablation: native vs record vs replay "
+              "(leasing %s%s)\n\n",
+              leasing ? "on vs off" : "off only", smoke ? ", smoke grid" : "");
+  std::printf("%9s %11s %11s %11s %11s %12s %12s\n", "#threads", "native(s)",
+              "record(s)", "lease(s)", "nolease(s)", "lease ov(%)",
+              "nolease ov(%)");
+
+  const std::vector<int> grid = smoke ? std::vector<int>{2, 4}
+                                      : std::vector<int>{2, 4, 8, 16};
+  const int reps = smoke ? 3 : 2;
+  bool tripwire = false;
+  std::vector<Json> records;
+  std::vector<std::pair<int, sched::SchedStats>> sched_rows;
+
+  for (int threads : grid) {
     WorkloadParams p;
     p.threads = threads;
     p.sessions = 2;
     p.connects_per_session = 2;
-    p.fixed_iters = 40000;
-    p.per_thread_iters = 1000;
+    p.fixed_iters = smoke ? 8000 : 40000;
+    p.per_thread_iters = smoke ? 200 : 1000;
 
-    core::Session s = make_session(p, true, true);
-    double native = 1e100, recorded = 1e100, replayed = 1e100;
+    // Two sessions over the same recording, differing only in the replay
+    // protocol.  Recording happens once, on the leased session (leasing is
+    // replay-only, so the record side is identical).
+    core::Session s_lease = make_session(p, true, true, false, true, true);
+    core::Session s_plain = make_session(p, true, true, false, true, false);
+    core::Session& recorder = leasing ? s_lease : s_plain;
+
+    double native = 1e100, recorded = 1e100;
     core::RunResult rec;
-    for (int i = 0; i < 2; ++i) {
-      native = std::min(native, s.run_native().wall_seconds);
-      auto r = s.record(100 + i);
+    for (int i = 0; i < reps; ++i) {
+      native = std::min(native, recorder.run_native().wall_seconds);
+      auto r = recorder.record(100 + i);
       if (r.wall_seconds < recorded) {
         recorded = r.wall_seconds;
         rec = std::move(r);
       }
     }
-    SchedRow row{threads, {}};
-    for (int i = 0; i < 2; ++i) {
-      auto r = s.replay(rec, 900 + i);
-      core::verify(rec, r);
-      if (r.wall_seconds < replayed) {
-        replayed = r.wall_seconds;
-        row.sum = {};
-        for (const auto& info : r.vms) {
-          const sched::SchedStats& vs = info.sched;
-          row.sum.ticks += vs.ticks;
-          row.sum.sections += vs.sections;
-          row.sum.waits_fast += vs.waits_fast;
-          row.sum.waits_parked += vs.waits_parked;
-          row.sum.wakeups_delivered += vs.wakeups_delivered;
-          row.sum.wakeups_spurious += vs.wakeups_spurious;
-          row.sum.stall_detections += vs.stall_detections;
-          row.sum.max_parked_waiters =
-              std::max(row.sum.max_parked_waiters, vs.max_parked_waiters);
-        }
-      }
+
+    ReplayMeasurement plain = measure_replay(s_plain, rec, reps, 900);
+    ReplayMeasurement leased;
+    if (leasing) {
+      leased = measure_replay(s_lease, rec, reps, 950);
+      sched_rows.emplace_back(threads, leased.sum);
     }
-    sched_rows.push_back(row);
-    std::printf("%9d %11.4f %11.4f %11.4f %13.1f%% %13.1f%%\n", threads,
-                native, recorded, replayed,
-                100.0 * (recorded - native) / native,
-                100.0 * (replayed - native) / native);
+
+    const double lease_s = leasing ? leased.seconds : 0.0;
+    const double lease_ov =
+        leasing ? 100.0 * (leased.seconds - native) / native : 0.0;
+    std::printf("%9d %11.4f %11.4f %11.4f %11.4f %11.1f%% %11.1f%%\n",
+                threads, native, recorded, lease_s, plain.seconds, lease_ov,
+                100.0 * (plain.seconds - native) / native);
+
+    if (leasing && smoke && leased.seconds > 1.10 * plain.seconds) {
+      std::printf("  TRIPWIRE: leased replay %.4fs is >10%% slower than "
+                  "per-event replay %.4fs at %d threads\n",
+                  leased.seconds, plain.seconds, threads);
+      tripwire = true;
+    }
+
+    Json row = Json::object()
+                   .field("threads", threads)
+                   .field("native_s", native)
+                   .field("record_s", recorded)
+                   .field("replay_nolease_s", plain.seconds)
+                   .field("rec_ovhd_pct",
+                          100.0 * (recorded - native) / native)
+                   .field("replay_nolease_ovhd_pct",
+                          100.0 * (plain.seconds - native) / native)
+                   .field("nolease_ticks", plain.sum.ticks);
+    if (leasing) {
+      row.field("replay_lease_s", leased.seconds)
+          .field("replay_lease_ovhd_pct", lease_ov)
+          .field("leases_taken", leased.sum.leases_taken)
+          .field("leased_events", leased.sum.leased_events)
+          .field("lease_publish_count", leased.sum.lease_publish_count)
+          .field("lease_ticks", leased.sum.ticks);
+    }
+    records.push_back(row);
   }
 
-  // Scheduler self-measurements of the best replay run, summed over VMs.
-  // "wakeups/tick" is the thundering-herd metric: targeted wakeups keep it
-  // O(1) per critical event no matter how many threads wait for turns.
-  std::printf("\nReplay scheduler counters (best replay run per row)\n\n");
-  std::printf("%9s %11s %12s %12s %10s %13s %11s\n", "#threads", "ticks",
-              "parked", "delivered", "spurious", "wakeups/tick", "max parked");
-  for (const SchedRow& row : sched_rows) {
-    std::printf("%9d %11llu %12llu %12llu %10llu %13.3f %11llu\n", row.threads,
-                static_cast<unsigned long long>(row.sum.ticks),
-                static_cast<unsigned long long>(row.sum.waits_parked),
-                static_cast<unsigned long long>(row.sum.wakeups_delivered),
-                static_cast<unsigned long long>(row.sum.wakeups_spurious),
-                row.sum.wakeups_per_tick(),
-                static_cast<unsigned long long>(row.sum.max_parked_waiters));
+  if (leasing) {
+    // Scheduler self-measurements of the best leased replay run, summed
+    // over VMs.  The leasing win is publications << leased events:
+    // ~(#intervals + #events/stride) counter publications instead of one
+    // per critical event.
+    std::printf("\nLeased-replay scheduler counters (best run per row)\n\n");
+    std::printf("%9s %10s %12s %12s %12s %10s %13s\n", "#threads", "leases",
+                "leased ev", "publishes", "parked", "spurious",
+                "wakeups/pub");
+    for (const auto& [threads, sum] : sched_rows) {
+      std::printf("%9d %10llu %12llu %12llu %12llu %10llu %13.3f\n", threads,
+                  static_cast<unsigned long long>(sum.leases_taken),
+                  static_cast<unsigned long long>(sum.leased_events),
+                  static_cast<unsigned long long>(sum.lease_publish_count),
+                  static_cast<unsigned long long>(sum.waits_parked),
+                  static_cast<unsigned long long>(sum.wakeups_spurious),
+                  sum.wakeups_per_tick());
+    }
   }
-  return 0;
+
+  Json root =
+      Json::object()
+          .field("bench", "replay_speed")
+          .field("env",
+                 Json::object()
+                     .field("hardware_concurrency",
+                            static_cast<std::uint64_t>(
+                                std::thread::hardware_concurrency()))
+                     .field("leasing", leasing)
+                     .field("smoke", smoke)
+                     .field("reps", reps))
+          .field("results", records);
+  write_bench_json("BENCH_replay_speed.json", root);
+  return tripwire ? 1 : 0;
 }

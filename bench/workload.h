@@ -141,10 +141,12 @@ inline void client_main(vm::Vm& v, const WorkloadParams& p,
 /// the world: both true = closed (Table 1); exactly one = open (Table 2).
 inline core::Session make_session(const WorkloadParams& p, bool server_djvm,
                                   bool client_djvm, bool keep_trace = false,
-                                  bool record_sharding = true) {
+                                  bool record_sharding = true,
+                                  bool replay_leasing = true) {
   core::SessionConfig cfg;
   cfg.keep_trace = keep_trace;
   cfg.record_sharding = record_sharding;
+  cfg.replay_leasing = replay_leasing;
   // Delays just wide enough to race connections; kept tiny so sleep time
   // does not dilute the CPU overhead the tables measure.
   cfg.net.connect_delay = {std::chrono::microseconds(0),

@@ -166,8 +166,12 @@ void Checkpointer::barrier(std::uint32_t phase) {
     }
     return;
   }
-  // Full replay (or a post-resume barrier): an ordinary critical event.
-  vm_.mark_event(sched::EventKind::kCheckpoint, phase);
+  // Full replay (or a post-resume barrier): an ordinary critical event,
+  // except that kGlobalConflict makes it quiesce any active interval lease
+  // first — a barrier must observe the exact counter value on both sides,
+  // matching the recorded Checkpoint::gc (a stride-lagged value() would
+  // desynchronize re-snapshotting against the record-phase log).
+  vm_.mark_event(sched::EventKind::kCheckpoint, phase, vm::kGlobalConflict);
 }
 
 void Checkpointer::resume_at(std::uint32_t phase, const CheckpointLog& log) {

@@ -112,6 +112,8 @@ RunResult Session::run(vm::Mode djvm_mode,
     cfg.keep_trace = config_.keep_trace;
     cfg.stall_timeout = config_.stall_timeout;
     cfg.record_sharding = config_.record_sharding;
+    cfg.replay_leasing = config_.replay_leasing;
+    cfg.lease_publish_stride = config_.lease_publish_stride;
     cfg.chaos_prob = config_.chaos_prob;
     cfg.chaos_seed = net_config.seed * 1000003 + spec.vm_id;
 

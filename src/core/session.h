@@ -16,6 +16,7 @@
 //   dejavu::verify(rec, rep);        // throws on the first divergence
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -45,6 +46,15 @@ struct SessionConfig {
   /// vm::VmConfig::record_sharding).  Off = the paper-faithful single
   /// section, the ablation baseline.
   bool record_sharding = true;
+
+  /// Replay-mode interval leasing (see vm::VmConfig::replay_leasing).
+  /// Off = the paper-faithful per-event await/tick protocol, the ablation
+  /// baseline.
+  bool replay_leasing = true;
+
+  /// Events between intra-lease counter publications (see
+  /// vm::VmConfig::lease_publish_stride).
+  std::uint64_t lease_publish_stride = 1024;
 
   /// Record-phase schedule fuzzing (see vm::VmConfig::chaos_prob); each VM
   /// derives its own chaos stream from the network seed and its id.

@@ -101,7 +101,63 @@ void GlobalCounter::notify_waiters_slow(GlobalCount new_value) {
   release_reached_locked(new_value);
 }
 
+void GlobalCounter::lease_begin(GlobalCount first, GlobalCount last) {
+  if (last < first) {
+    throw UsageError("lease_begin: interval [" + std::to_string(first) +
+                     ", " + std::to_string(last) + "] is empty");
+  }
+  const GlobalCount v = value_.load(std::memory_order_seq_cst);
+  if (v != first) {
+    throw UsageError("lease_begin(" + std::to_string(first) +
+                     ") without holding the turn (counter at " +
+                     std::to_string(v) + ")");
+  }
+  if (lease_active_.exchange(true, std::memory_order_seq_cst)) {
+    throw UsageError(
+        "lease_begin while another lease is active: replay's turn protocol "
+        "admits exactly one leaseholder");
+  }
+  lease_first_ = first;
+  leases_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GlobalCounter::lease_publish(GlobalCount next) {
+  // The leaseholder is the unique counter mutator while the lease is held
+  // (every other replaying thread is parked or pre-await), so a plain
+  // store publishes correctly; the seq_cst store + parked_ load is the
+  // same Dekker pairing as tick()'s fetch_add + load (see parked_'s
+  // comment in the header).
+  value_.store(next, std::memory_order_seq_cst);
+  lease_publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (parked_.load(std::memory_order_seq_cst) != 0) notify_waiters_slow(next);
+}
+
+void GlobalCounter::lease_complete(GlobalCount last) {
+  leased_events_.fetch_add(last + 1 - lease_first_,
+                           std::memory_order_relaxed);
+  // Release the lease BEFORE publishing: the thread whose turn last + 1 is
+  // may return from await and lease_begin its own interval the instant the
+  // new value is visible.
+  lease_active_.store(false, std::memory_order_seq_cst);
+  lease_publish(last + 1);
+}
+
+void GlobalCounter::lease_release(GlobalCount next) {
+  leased_events_.fetch_add(next - lease_first_, std::memory_order_relaxed);
+  lease_active_.store(false, std::memory_order_seq_cst);
+  // Publish only if the leaseholder completed events since the last
+  // publication (a release right after begin or a stride boundary is a
+  // no-op for observers).
+  if (value_.load(std::memory_order_seq_cst) != next) lease_publish(next);
+}
+
 void GlobalCounter::advance_to(GlobalCount target) {
+  if (lease_active_.load(std::memory_order_seq_cst)) {
+    throw UsageError(
+        "advance_to(" + std::to_string(target) +
+        ") while an interval lease is active: the leaseholder owns the "
+        "counter and its unpublished events would be forged");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (value_.load(std::memory_order_seq_cst) > target) {
     throw UsageError("advance_to moving the global counter backwards");
@@ -266,6 +322,9 @@ SchedStats GlobalCounter::stats() const {
   s.stripe_count = stripe_count_;
   s.stripe_waits = stripe_waits_.load(std::memory_order_relaxed);
   s.section_wait_micros = section_wait_micros_.load(std::memory_order_relaxed);
+  s.leases_taken = leases_.load(std::memory_order_relaxed);
+  s.leased_events = leased_events_.load(std::memory_order_relaxed);
+  s.lease_publish_count = lease_publishes_.load(std::memory_order_relaxed);
   std::uint64_t worst = global_contended_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < stripe_count_; ++i) {
     worst = std::max(worst,
@@ -303,6 +362,11 @@ std::string to_text(const SchedStats& s) {
       static_cast<unsigned long long>(s.stripe_waits),
       static_cast<unsigned long long>(s.section_wait_micros),
       static_cast<unsigned long long>(s.max_stripe_collisions));
+  out += str_format(
+      "  leases: %llu taken, %llu leased event(s), %llu publication(s)\n",
+      static_cast<unsigned long long>(s.leases_taken),
+      static_cast<unsigned long long>(s.leased_events),
+      static_cast<unsigned long long>(s.lease_publish_count));
   return out;
 }
 

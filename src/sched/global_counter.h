@@ -28,6 +28,19 @@
 // event's recorded value; `tick()` releases the next event in the total
 // order.
 //
+// Interval-leased replay (`lease_begin`/`lease_publish`/`lease_complete`):
+// a thread whose next event opens a logical schedule interval [first, last]
+// performs ONE await(first), leases the whole range, executes the
+// interval's events with thread-local bookkeeping (no atomics, no mutex,
+// no wakeup scans — by the interval definition no other thread has a
+// recorded event inside the range), and publishes the entire interval with
+// a single lease_complete.  Long intervals publish partial progress every
+// stride events via lease_publish so `value()` observers (the stall
+// detector, checkpoint snapshots, SchedStats) never see a frozen counter;
+// published values only ever under-report executed progress, never
+// over-report (docs/INTERNALS.md §1b).  Replay's turn protocol guarantees
+// at most one lease exists at a time.
+//
 // Turn-waiting uses TARGETED wakeups: each parked thread owns a waiter slot
 // (its own condition_variable keyed by its target value); a tick computes
 // the new value and notifies only the thread whose turn arrived.  The value
@@ -108,6 +121,7 @@ class GlobalCounter {
   /// stripe configuration.
   template <typename F>
   GlobalCount with_section(F&& f) {
+    check_no_lease();
     GlobalCount v;
     {
       std::unique_lock<std::mutex> lock = acquire_timed(mutex_, nullptr);
@@ -129,6 +143,7 @@ class GlobalCounter {
   template <typename F>
   GlobalCount with_section(SectionKey key, F&& f) {
     if (stripe_count_ == 0) return with_section(std::forward<F>(f));
+    check_no_lease();
     Stripe& s = stripes_[stripe_index(key)];
     GlobalCount v;
     {
@@ -151,6 +166,7 @@ class GlobalCounter {
   template <typename F>
   GlobalCount with_exclusive_section(F&& f) {
     if (stripe_count_ == 0) return with_section(std::forward<F>(f));
+    check_no_lease();
     GlobalCount v;
     {
       std::unique_lock<std::mutex> global = acquire_timed(mutex_, nullptr);
@@ -170,8 +186,40 @@ class GlobalCounter {
   /// UsageError when the counter is already past `target` — or when the
   /// jump would skip over a parked waiter's turn (resuming past events
   /// that live threads still intend to execute is a checkpoint/skip usage
-  /// error, not a schedule divergence; the error names the skipped target).
+  /// error, not a schedule divergence; the error names the skipped target)
+  /// — or while an interval lease is active (the leaseholder owns the
+  /// counter; jumping underneath it would forge its unpublished events).
   void advance_to(GlobalCount target);
+
+  // --- replay interval leasing ------------------------------------------
+
+  /// Takes a lease on the interval [first, last].  The caller must hold
+  /// the turn for `first` (i.e. have just awaited it): the counter's
+  /// published value stays at `first` while the leaseholder executes the
+  /// interval's events locally.  Throws UsageError when the counter is not
+  /// at `first` or another lease is already active — replay's turn
+  /// protocol admits exactly one owner, so either means a protocol bug at
+  /// the call site, not a schedule divergence.
+  void lease_begin(GlobalCount first, GlobalCount last);
+
+  /// Publishes partial progress inside the active lease: the counter jumps
+  /// to `next`, the leaseholder's next unexecuted value (first < next <=
+  /// last).  One seq_cst store + one targeted-wakeup pass, replacing
+  /// `next - value()` individual ticks.  Stride publication only ever
+  /// under-reports executed progress — `next` counts completed events — so
+  /// value() observers see a correct lower bound.
+  void lease_publish(GlobalCount next);
+
+  /// Completes the lease at interval end: publishes `last + 1` (the whole
+  /// interval becomes visible in one publication) and releases ownership,
+  /// waking the thread whose turn `last + 1` is.
+  void lease_complete(GlobalCount last);
+
+  /// Releases the lease early at `next`, the leaseholder's next unexecuted
+  /// value (quiescing for an event that needs the counter exact, e.g. a
+  /// checkpoint barrier): publishes any locally completed events and drops
+  /// ownership without reaching interval end.
+  void lease_release(GlobalCount next);
 
   /// Blocks until the counter equals `target` (replay turn-waiting).
   /// Throws ReplayDivergenceError if the counter is already past `target`
@@ -233,6 +281,19 @@ class GlobalCounter {
     return static_cast<std::size_t>(x % stripe_count_);
   }
 
+  /// Misuse guard shared by every GC-critical-section entry point: record
+  /// sections and replay leases must never coexist (sections are the
+  /// record-mode event path, leases the replay-mode one).  One relaxed
+  /// load of a flag that is false for the whole record phase — the hot
+  /// path pays a predictable not-taken branch.
+  void check_no_lease() const {
+    if (lease_active_.load(std::memory_order_relaxed)) {
+      throw UsageError(
+          "GC-critical section while a replay interval lease is active: "
+          "record sections and replay leases must never coexist");
+    }
+  }
+
   /// Locks `m`, counting the acquisition as contended (and timing the wait)
   /// when the lock was not immediately available.  `stripe` is the stripe
   /// whose collision counter to bump, nullptr for the global section.  The
@@ -268,6 +329,13 @@ class GlobalCounter {
 
   std::atomic<std::uint64_t> runners_{0};
 
+  /// True while a replay interval lease is held.  Atomic because guards
+  /// (advance_to, with_section, a second lease_begin) read it from other
+  /// threads; lease_first_ is written at lease_begin and read at
+  /// publication/release only by the leaseholder, so it needs no atomics.
+  std::atomic<bool> lease_active_{false};
+  GlobalCount lease_first_ = 0;
+
   // Stats (relaxed; exactness across threads is not required).
   std::atomic<std::uint64_t> ticks_{0};
   std::atomic<std::uint64_t> sections_{0};
@@ -281,6 +349,9 @@ class GlobalCounter {
   std::atomic<std::uint64_t> max_wait_micros_{0};
   std::atomic<std::uint64_t> stripe_waits_{0};
   std::atomic<std::uint64_t> section_wait_micros_{0};
+  std::atomic<std::uint64_t> leases_{0};
+  std::atomic<std::uint64_t> leased_events_{0};
+  std::atomic<std::uint64_t> lease_publishes_{0};
   /// Contended acquisitions of the single global section (the "stripe 0"
   /// of the unsharded layout; feeds max_stripe_collisions there).
   std::atomic<std::uint64_t> global_contended_{0};

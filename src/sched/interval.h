@@ -104,6 +104,19 @@ class IntervalCursor {
     return intervals_[index_].first + offset_;
   }
 
+  /// Global counter value of the LAST event of the interval the next event
+  /// belongs to — the interval-lease lookahead: replay may take ownership
+  /// of the whole range [peek(), interval_last()] with one await, because
+  /// the interval definition guarantees no other thread has a recorded
+  /// event inside it.  Throws like peek() when exhausted.
+  GlobalCount interval_last() const {
+    if (exhausted()) {
+      throw ReplayDivergenceError(
+          "thread attempted a critical event beyond its recorded schedule");
+    }
+    return intervals_[index_].last;
+  }
+
   /// Consumes the next event.
   void advance() {
     if (exhausted()) {
@@ -119,9 +132,21 @@ class IntervalCursor {
   }
 
   /// Fast-forwards past every event with counter value <= limit
-  /// (replay-from-checkpoint).
+  /// (replay-from-checkpoint).  O(#intervals), not O(#events): an interval
+  /// that ends at or below the limit is skipped in one step, and at most
+  /// one interval is entered partway.
   void skip_through(GlobalCount limit) {
-    while (!exhausted() && peek() <= limit) advance();
+    while (index_ < intervals_.size()) {
+      const LogicalInterval& iv = intervals_[index_];
+      if (iv.first + offset_ > limit) return;  // next event is past the limit
+      if (iv.last <= limit) {
+        ++index_;  // whole remainder of the interval is at or below the limit
+        offset_ = 0;
+        continue;
+      }
+      offset_ = limit - iv.first + 1;
+      return;
+    }
   }
 
   /// Events remaining across all intervals.

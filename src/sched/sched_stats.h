@@ -71,10 +71,24 @@ struct SchedStats {
   /// dissolving.
   std::uint64_t max_stripe_collisions = 0;
 
-  /// Wakeups (delivered + spurious) per counter increment — the O(1) vs
+  /// Replay interval leases taken (one per logical schedule interval when
+  /// leasing is on; 0 under the paper-faithful per-event protocol).
+  std::uint64_t leases_taken = 0;
+
+  /// Critical events executed under a lease with thread-local bookkeeping
+  /// only (no atomics, no wakeup scan).
+  std::uint64_t leased_events = 0;
+
+  /// Counter publications performed by the lease path: stride publications
+  /// plus one interval-end completion per lease — the replay analogue of
+  /// ticks.  The leasing win is lease_publish_count << leased_events:
+  /// ~(#intervals + #events/stride) publications instead of #events.
+  std::uint64_t lease_publish_count = 0;
+
+  /// Wakeups (delivered + spurious) per counter publication — the O(1) vs
   /// O(waiters) acceptance metric.  0 when nothing ever ticked.
   double wakeups_per_tick() const {
-    const std::uint64_t t = ticks + sections;
+    const std::uint64_t t = ticks + sections + lease_publish_count;
     return t == 0 ? 0.0
                   : static_cast<double>(wakeups_delivered + wakeups_spurious) /
                         static_cast<double>(t);

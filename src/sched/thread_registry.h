@@ -30,6 +30,15 @@ struct ThreadState {
   /// Replay mode: cursor over this thread's recorded intervals.
   IntervalCursor cursor;
 
+  /// Replay interval lease (managed by vm::Vm's replay gateways): while
+  /// active, this thread owns the counter range up to lease_end and
+  /// completes events with thread-local bookkeeping only, publishing at
+  /// lease_next_publish and at interval end.  Only ever touched by the
+  /// owning thread.
+  bool lease_active = false;
+  GlobalCount lease_end = 0;
+  GlobalCount lease_next_publish = 0;
+
   /// Per-thread network event numbering ("eventNum is used to order network
   /// events within a specific thread").  Advances identically in record and
   /// replay because it counts API calls, not outcomes.

@@ -327,6 +327,10 @@ DatagramPacket DatagramSocket::receive() {
     return {*entry->data, source};
   }
   const DgNetworkEventId want = *entry->dg_id;
+  // Turn-first; under interval leasing this may be lease-local (no await).
+  // Blocking on the reliable layer inside a lease is safe for the same
+  // reason as Socket::do_read: the awaited datagram comes from a peer VM,
+  // never from a thread parked on this VM's counter.
   vm_.replay_turn_begin();
   Bytes payload;
   {

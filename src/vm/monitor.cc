@@ -24,7 +24,11 @@ void Monitor::enter() {
   }
   if (vm_.mode() == Mode::kReplay) {
     // Turn first: once it is this event's turn, the previous holder's exit
-    // has already ticked (and unlocked), so lock() cannot block.
+    // has already completed (and unlocked), so lock() cannot block.  Holds
+    // under interval leasing too: a within-lease enter's preceding exit is
+    // either local to this thread (unlocked in program order) or has a
+    // counter value below the lease start and so happened-before the
+    // lease-opening await.
     vm_.replay_turn_begin();
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
@@ -50,7 +54,10 @@ void Monitor::exit() {
   }
   // Real release *inside* the GC-critical section: exit-tick happens-before
   // any later enter-tick, which is what makes replay-time acquisition
-  // non-blocking.
+  // non-blocking.  (With interval leasing the exit's publication may be
+  // deferred to the lease end — but a cross-thread enter awaits a counter
+  // value past that lease, so the ordering survives: publication carries
+  // the release.)
   vm_.critical_event(
       EventKind::kMonitorExit,
       [&](GlobalCount) {

@@ -5,7 +5,12 @@
 // different in the two thread schedules." (§2.1)  Every get() and set() is a
 // critical event: in record mode it executes inside the GC-critical section
 // (counter update + access as one atomic action); in replay mode it executes
-// at its recorded global-counter value.
+// at its recorded global-counter value — under interval leasing possibly
+// with purely thread-local bookkeeping, which is still data-race-free for
+// the cell: every event inside a lease belongs to the leaseholder, and the
+// counter publications at the lease boundaries carry the seq_cst edges that
+// order this thread's accesses against every other thread's
+// (docs/INTERNALS.md §1b).
 //
 // Accesses remain *logically* racy across events (a get();set() increment
 // can lose updates, exactly like an unsynchronized Java field), but the

@@ -296,6 +296,10 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
   // Turn-first (DESIGN.md §5), then read *exactly* numRecorded bytes:
   // "the thread reads only numRecorded bytes even if more bytes are
   // available to read or will block until numRecorded bytes are available".
+  // Under interval leasing the "turn" may be lease-local (no await): the
+  // bytes this read blocks for were produced by peer-VM writes, not by
+  // this VM's counter, so blocking inside a lease cannot deadlock the
+  // schedule — the completion below is what orders the event.
   vm_.replay_turn_begin();
   {
     std::lock_guard<std::mutex> fd(read_mutex_);

@@ -49,7 +49,10 @@ std::uint64_t recorded_query(Vm& vm, std::uint64_t (*query)()) {
     return value;
   }
 
-  // Replay: the recorded value, never the real clock.
+  // Replay: the recorded value, never the real clock.  mark_event runs the
+  // turn protocol — within an interval lease that is one cursor advance
+  // with no atomics, making replayed time reads as cheap as the record
+  // side's thread-local-keyed sections.
   const record::NetworkLogEntry* entry =
       vm.replay_log()->network.find(st.num, en);
   if (entry == nullptr || !entry->value) {

@@ -9,6 +9,11 @@ VmThread::VmThread(Vm& vm, std::function<void()> fn)
   // spawns share one conflict key (the registry): concurrent spawns on
   // different stripes could otherwise draw thread numbers inconsistent
   // with their counter order, breaking replay's threadNum determinism.
+  // A spawn may execute inside the parent's interval lease: the child's
+  // first recorded event then lies beyond the parent's interval (intervals
+  // are maximal single-thread runs), so the child's first await parks until
+  // the parent's lease-end publication — it can never need a turn the lease
+  // has not yet published.
   sched::ThreadState* child_state = nullptr;
   vm.critical_event(
       sched::EventKind::kThreadStart,

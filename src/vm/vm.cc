@@ -91,6 +91,17 @@ void Vm::detach_current() {
   counter_.runner_ended();
 }
 
+GlobalCount Vm::critical_events() const {
+  // A leaseholder's completed events are not all published yet; the gc of
+  // its next recorded event IS its completed-event count (the counter is
+  // zero-based), so report that to keep the thread's own view coherent.
+  if (t_binding.vm == this && t_binding.state != nullptr &&
+      t_binding.state->lease_active) {
+    return t_binding.state->cursor.peek();
+  }
+  return counter_.value();
+}
+
 sched::ThreadState& Vm::current_state() {
   if (t_binding.vm != this || t_binding.state == nullptr) {
     throw UsageError(
@@ -225,6 +236,58 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
   }
 }
 
+GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable) {
+  // peek() is the divergence check: a thread attempting an event beyond its
+  // recorded schedule throws here, before any waiting, in both modes.
+  const GlobalCount g = state.cursor.peek();
+  if (!config_.replay_leasing) {
+    counter_.await(g);
+    return g;
+  }
+  if (state.lease_active) {
+    // Within the lease the turn is already ours: every event in
+    // [lease start, lease_end] belongs to this thread (interval = maximal
+    // consecutive run), so no other thread may run until we publish.
+    // Awaiting here would deadlock — the published counter lags our local
+    // progress until the next stride publication.
+    return g;
+  }
+  counter_.await(g);
+  if (leasable) {
+    const GlobalCount last = state.cursor.interval_last();
+    counter_.lease_begin(g, last);
+    state.lease_active = true;
+    state.lease_end = last;
+    state.lease_next_publish = g + config_.lease_publish_stride;
+  }
+  return g;
+}
+
+void Vm::replay_turn_done(sched::ThreadState& state, GlobalCount g) {
+  if (state.lease_active) {
+    if (g == state.lease_end) {
+      counter_.lease_complete(g);
+      state.lease_active = false;
+    } else if (g + 1 == state.lease_next_publish) {
+      // Keep value() observers (stall detector, checkpoints, stats) from
+      // seeing a frozen counter across a long interval.  Under-reporting
+      // between strides is safe: no waiter's turn lies inside the lease.
+      counter_.lease_publish(g + 1);
+      state.lease_next_publish = g + 1 + config_.lease_publish_stride;
+    }
+    state.cursor.advance();
+    return;
+  }
+  counter_.tick();
+  state.cursor.advance();
+}
+
+void Vm::lease_quiesce(sched::ThreadState& state) {
+  if (!state.lease_active) return;
+  counter_.lease_release(state.cursor.peek());
+  state.lease_active = false;
+}
+
 GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
                                std::uint64_t fixed_aux, ConflictKey conflict) {
   std::uint64_t aux = fixed_aux;
@@ -274,8 +337,12 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
     }
     case Mode::kReplay: {
       sched::ThreadState& state = current_state();
-      GlobalCount g = state.cursor.peek();
-      counter_.await(g);
+      // kGlobalConflict events (checkpoint barriers) snapshot arbitrary
+      // state against value(), so they need the counter exact: publish and
+      // drop any active lease, then run the per-event protocol.
+      const bool exact = conflict == kGlobalConflict;
+      if (exact) lease_quiesce(state);
+      const GlobalCount g = replay_turn_wait(state, /*leasable=*/!exact);
       std::exception_ptr raised;
       try {
         if (body) aux = body(g);
@@ -285,8 +352,7 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
       } catch (...) {
         raised = std::current_exception();
       }
-      counter_.tick();
-      state.cursor.advance();
+      replay_turn_done(state, g);
       after_event(state, kind, aux, g);
       if (raised) std::rethrow_exception(raised);
       return g;
@@ -304,17 +370,13 @@ GlobalCount Vm::replay_turn_begin() {
   if (config_.mode != Mode::kReplay) {
     throw UsageError("replay_turn_begin outside replay mode");
   }
-  sched::ThreadState& state = current_state();
-  GlobalCount g = state.cursor.peek();
-  counter_.await(g);
-  return g;
+  return replay_turn_wait(current_state(), /*leasable=*/true);
 }
 
 void Vm::replay_turn_end(sched::EventKind kind, std::uint64_t aux) {
   sched::ThreadState& state = current_state();
-  GlobalCount g = state.cursor.peek();
-  counter_.tick();
-  state.cursor.advance();
+  const GlobalCount g = state.cursor.peek();
+  replay_turn_done(state, g);
   after_event(state, kind, aux, g);
 }
 

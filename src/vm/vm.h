@@ -83,6 +83,24 @@ struct VmConfig {
   /// bytes each.
   std::size_t record_stripes = 64;
 
+  /// Replay-mode interval leasing.  true = a thread whose next event opens
+  /// a logical schedule interval performs ONE await for the whole interval,
+  /// executes the interval's events with thread-local counter bookkeeping
+  /// (no atomics, no mutex, no wakeups), and publishes the interval with a
+  /// single counter jump at its end — ~(#intervals + #events/stride)
+  /// atomic publications instead of #events.  false = the paper-faithful
+  /// per-event await/tick protocol (the ablation baseline for
+  /// EXPERIMENTS.md, mirroring record_sharding).  The replayed schedule,
+  /// trace, and divergence detection are identical in both modes.
+  bool replay_leasing = true;
+
+  /// Events between intra-lease counter publications (replay_leasing
+  /// only).  A long interval publishes progress every this-many events so
+  /// value() observers — the stall detector, checkpoint snapshots,
+  /// SchedStats — never see a frozen counter; smaller strides trade a few
+  /// atomics for fresher observation.
+  GlobalCount lease_publish_stride = 1024;
+
   /// Replay stall detector window: a turn-wait that sees no counter
   /// progress for this long — while every bound thread is itself parked on
   /// a turn, so progress is impossible — aborts with
@@ -182,8 +200,11 @@ class Vm {
   /// threads' buffers merge when those threads finish or detach.
   const sched::ExecutionTrace& trace();
 
-  /// Critical events executed so far (the global counter).
-  GlobalCount critical_events() const { return counter_.value(); }
+  /// Critical events executed so far (the global counter).  When the
+  /// calling thread holds a replay interval lease, its own unpublished
+  /// progress is included — a thread must always see its own completed
+  /// events (program order), even between stride publications.
+  GlobalCount critical_events() const;
 
   /// Scheduler self-measurements (ticks, waits, targeted wakeups, stall
   /// detections — see sched/sched_stats.h).  Snapshot; never blocks.
@@ -281,6 +302,24 @@ class Vm {
   /// Record-mode chaos: maybe yield/sleep before an event (see
   /// VmConfig::chaos_prob).
   void maybe_chaos();
+
+  /// Replay: waits for the calling thread's next event's turn and returns
+  /// its counter value.  With leasing, a turn at the head of an interval
+  /// performs the one await for the whole interval and takes the lease
+  /// (when `leasable`); turns within an active lease return immediately —
+  /// no atomics, no mutex.  `leasable` is false for events that need the
+  /// published counter exact (kGlobalConflict), which run per-event.
+  GlobalCount replay_turn_wait(sched::ThreadState& state, bool leasable);
+
+  /// Replay: completes event `g` — within a lease, thread-local
+  /// bookkeeping with stride publication and a single interval-end
+  /// completion; otherwise one tick.  Advances the cursor either way.
+  void replay_turn_done(sched::ThreadState& state, GlobalCount g);
+
+  /// Replay: publishes and releases the calling thread's active lease (if
+  /// any) so the counter is exact — used before kGlobalConflict events
+  /// (checkpoint barriers snapshot arbitrary state against value()).
+  void lease_quiesce(sched::ThreadState& state);
 
   void after_event(sched::ThreadState& state, sched::EventKind kind,
                    std::uint64_t aux, GlobalCount gc);

@@ -261,9 +261,15 @@ TEST(LogStats, AttachesSchedulerSnapshot) {
 
   auto rep = s.replay(rec, 2);
   const sched::SchedStats& rs = rep.vm("app").sched;
-  EXPECT_GE(rs.ticks, 100u);
-  EXPECT_EQ(rs.waits_fast + rs.waits_parked, rs.ticks);
-  EXPECT_LE(rs.wakeups_delivered + rs.wakeups_spurious, rs.ticks);
+  // With interval leasing (the default) events complete under leases with
+  // one publication per interval; ticks only count non-leased events.
+  EXPECT_GE(rs.ticks + rs.leased_events, 100u);
+  EXPECT_GT(rs.leases_taken, 0u);
+  EXPECT_LE(rs.lease_publish_count, rs.leased_events);
+  // One await per tick plus one per lease — never one per leased event.
+  EXPECT_EQ(rs.waits_fast + rs.waits_parked, rs.ticks + rs.leases_taken);
+  EXPECT_LE(rs.wakeups_delivered + rs.wakeups_spurious,
+            rs.ticks + rs.lease_publish_count);
   EXPECT_EQ(rs.stall_detections, 0u);
 
   LogStats stats = compute_stats(*rec.vm("app").log, rs);
