@@ -16,9 +16,17 @@
 // bench/emit_json.h.  Note: on a single-core container every config is
 // timeslicing, not parallel — expect sharding to show up as *less
 // degradation* under contention rather than a multi-core speedup.
+//
+// Flags:
+//   --spool      run only the spooled-vs-in-memory record comparison
+//   --smoke      small spool grid; exit nonzero if spooled record is >15%
+//                slower than in-memory (the streaming-writer tripwire)
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -52,7 +60,7 @@ Result run_config(int threads, bool shared_object, bool sharding) {
   cfg.vm_id = 1;
   cfg.mode = vm::Mode::kRecord;
   cfg.keep_trace = false;
-  cfg.record_sharding = sharding;
+  cfg.tuning.record_sharding = sharding;
   vm::Vm v(network, cfg);
   v.attach_main();
 
@@ -101,6 +109,86 @@ Result best_of(int threads, bool shared_object, bool sharding) {
   return best;
 }
 
+// --- Spooled vs in-memory record ------------------------------------------
+//
+// Same workload, full record bookkeeping (keep_trace on — the trace is the
+// O(run-length) part the spooler exists to stream out), timed through
+// finish_record() so the spooled arm pays for sealing and fsyncing its file.
+
+struct SpoolResult {
+  int threads = 0;
+  bool spooled = false;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  record::SpoolStats spool{};
+};
+
+SpoolResult run_record_arm(int threads, bool spooled, int iters,
+                           const std::string& spool_path) {
+  auto network = std::make_shared<net::Network>();
+  vm::VmConfig cfg;
+  cfg.vm_id = 1;
+  cfg.mode = vm::Mode::kRecord;
+  cfg.keep_trace = true;
+  cfg.tuning.record_sharding = true;
+  if (spooled) cfg.spool_path = spool_path;
+  vm::Vm v(network, cfg);
+  v.attach_main();
+
+  const int per_thread = iters / threads;
+  vm::SharedVar<std::uint64_t> var(v, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<vm::VmThread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(v, [&var, per_thread] {
+        for (int i = 0; i < per_thread; ++i) var.set(var.get() + 1);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  record::VmLog log = v.finish_record();
+  const auto end = std::chrono::steady_clock::now();
+
+  SpoolResult r;
+  r.threads = threads;
+  r.spooled = spooled;
+  r.events = log.stats.critical_events;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  r.spool = v.spool_stats();
+  v.detach_current();
+  if (spooled) std::filesystem::remove(spool_path);
+  return r;
+}
+
+SpoolResult best_record_arm(int threads, bool spooled, int iters,
+                            const std::string& spool_path) {
+  SpoolResult best;
+  for (int i = 0; i < kReps; ++i) {
+    SpoolResult r = run_record_arm(threads, spooled, iters, spool_path);
+    if (i == 0 || r.events_per_sec > best.events_per_sec) best = r;
+  }
+  return best;
+}
+
+Json to_json(const SpoolResult& r) {
+  return Json::object()
+      .field("threads", r.threads)
+      .field("mode", r.spooled ? "spooled" : "memory")
+      .field("events", r.events)
+      .field("seconds", r.seconds)
+      .field("events_per_sec", r.events_per_sec)
+      .field("raw_bytes", r.spool.raw_bytes)
+      .field("written_bytes", r.spool.written_bytes)
+      .field("chunks_written", r.spool.chunks_written)
+      .field("queue_high_water_bytes", r.spool.queue_high_water_bytes)
+      .field("producer_blocks", r.spool.producer_blocks);
+}
+
 Json to_json(const Result& r) {
   return Json::object()
       .field("threads", r.threads)
@@ -118,9 +206,74 @@ Json to_json(const Result& r) {
 }  // namespace
 }  // namespace djvu::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace djvu;
   using namespace djvu::bench;
+
+  bool spool_only = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spool") == 0) spool_only = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) spool_only = smoke = true;
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string spool_path =
+      std::string(tmp ? tmp : "/tmp") + "/bench_record_scaling.djvuspool";
+  const int spool_iters = smoke ? 8000 : kTotalIters;
+  const std::vector<int> spool_grid =
+      smoke ? std::vector<int>{2, 4} : std::vector<int>{1, 2, 4, 8};
+
+  std::vector<Json> spool_records;
+  std::printf("Spooled vs in-memory record (shared object, sharding on, "
+              "trace kept)%s\n\n", smoke ? " — smoke grid" : "");
+  std::printf("%8s %10s %10s %10s %12s %14s %10s\n", "#threads", "mode",
+              "Mev/s", "slowdown", "written(KB)", "high_water(KB)", "blocks");
+  bool tripwire = false;
+  for (int threads : spool_grid) {
+    SpoolResult mem = best_record_arm(threads, false, spool_iters, spool_path);
+    SpoolResult sp = best_record_arm(threads, true, spool_iters, spool_path);
+    spool_records.push_back(to_json(mem));
+    spool_records.push_back(to_json(sp));
+    std::printf("%8d %10s %10.3f %10s %12s %14s %10s\n", threads, "memory",
+                mem.events_per_sec / 1e6, "-", "-", "-", "-");
+    std::printf("%8d %10s %10.3f %9.2fx %12.1f %14.1f %10llu\n", threads,
+                "spooled", sp.events_per_sec / 1e6,
+                mem.events_per_sec / sp.events_per_sec,
+                static_cast<double>(sp.spool.written_bytes) / 1024.0,
+                static_cast<double>(sp.spool.queue_high_water_bytes) / 1024.0,
+                static_cast<unsigned long long>(sp.spool.producer_blocks));
+    // On one core the writer thread timeslices with the recording threads
+    // instead of overlapping them, so the serialization+IO work shows up as
+    // wall time no matter how cheap the producer path is; only enforce the
+    // tripwire where overlap is possible.
+    if (smoke && std::thread::hardware_concurrency() >= 2 &&
+        sp.seconds > 1.15 * mem.seconds) {
+      tripwire = true;
+    }
+  }
+  std::printf("\n");
+
+  if (spool_only) {
+    Json root =
+        Json::object()
+            .field("bench", "record_scaling")
+            .field("env", Json::object()
+                              .field("hardware_concurrency",
+                                     static_cast<std::uint64_t>(
+                                         std::thread::hardware_concurrency()))
+                              .field("total_iters", spool_iters)
+                              .field("reps", kReps)
+                              .field("smoke", smoke))
+            .field("spool_results", spool_records);
+    write_bench_json("BENCH_record_scaling.json", root);
+    if (tripwire) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: spooled record >15%% slower than in-memory\n");
+      return 1;
+    }
+    return 0;
+  }
 
   std::printf("Record-path contention: critical events/sec, sharded vs "
               "single GC-critical section\n");
@@ -162,7 +315,8 @@ int main() {
                                        std::thread::hardware_concurrency()))
                             .field("total_iters", kTotalIters)
                             .field("reps", kReps))
-          .field("results", records);
+          .field("results", records)
+          .field("spool_results", spool_records);
   write_bench_json("BENCH_record_scaling.json", root);
   return 0;
 }

@@ -145,8 +145,8 @@ inline core::Session make_session(const WorkloadParams& p, bool server_djvm,
                                   bool replay_leasing = true) {
   core::SessionConfig cfg;
   cfg.keep_trace = keep_trace;
-  cfg.record_sharding = record_sharding;
-  cfg.replay_leasing = replay_leasing;
+  cfg.tuning.record_sharding = record_sharding;
+  cfg.tuning.replay_leasing = replay_leasing;
   // Delays just wide enough to race connections; kept tiny so sleep time
   // does not dilute the CPU overhead the tables measure.
   cfg.net.connect_delay = {std::chrono::microseconds(0),

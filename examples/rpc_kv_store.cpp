@@ -175,7 +175,7 @@ core::Session make_kv_session() {
   cfg.net.connect_delay = {std::chrono::microseconds(0),
                            std::chrono::microseconds(400)};
   cfg.net.segmentation.mss = 16;  // frames arrive in pieces
-  cfg.chaos_prob = 0.02;          // widen the CAS race window
+  cfg.tuning.chaos_prob = 0.02;          // widen the CAS race window
   core::Session s(cfg);
   s.add_vm("store", 1, true, server_main);
   for (int c = 0; c < kClients; ++c) {

@@ -22,7 +22,7 @@ using namespace djvu;
 
 core::Session racy_app() {
   core::SessionConfig cfg;
-  cfg.chaos_prob = 0.15;  // force schedule diversity on a quiet machine
+  cfg.tuning.chaos_prob = 0.15;  // force schedule diversity on a quiet machine
   core::Session s(cfg);
   s.add_vm("app", 1, true, [](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);
@@ -50,9 +50,9 @@ void print_diff(const record::TraceDiff& diff) {
 
 int main(int argc, char** argv) {
   if (argc == 3) {
-    auto a = record::load_trace_from_file(argv[1]);
-    auto b = record::load_trace_from_file(argv[2]);
-    auto diff = record::diff_traces(a, b);
+    // Streaming diff: the files are read in lockstep and abandoned at the
+    // first divergence — big traces that differ early cost almost nothing.
+    auto diff = record::diff_trace_files(argv[1], argv[2]);
     print_diff(diff);
     return diff.identical ? 0 : 1;
   }
@@ -64,15 +64,21 @@ int main(int argc, char** argv) {
   auto s1 = racy_app();
   auto rec1 = s1.record(101);
   core::Session::save_traces(rec1, dir);
-  auto trace1 = record::load_trace_from_file(dir + "/app.djvutrace");
+  const std::string path1 = dir + "/app.djvutrace";
+  auto trace1 = record::load_trace_from_file(path1);
 
   auto s2 = racy_app();
   auto rec2 = s2.record(202);
-  core::Session::save_traces(rec2, dir);
-  auto trace2 = record::load_trace_from_file(dir + "/app.djvutrace");
+  record::TraceFile trace2;
+  trace2.vm_id = rec2.vm("app").vm_id;
+  trace2.records = rec2.vm("app").trace;
+  const std::string path2 = dir + "/app-202.djvutrace";
+  record::save_trace_to_file(trace2, path2);
 
+  // The streaming path: both files read in lockstep, abandoned at the
+  // first divergence.
   std::printf("--- recording 101 vs recording 202 ---\n");
-  print_diff(record::diff_traces(trace1, trace2));
+  print_diff(record::diff_trace_files(path1, path2));
 
   std::printf("\n--- recording 101 vs its replay ---\n");
   auto s3 = racy_app();
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
   replay_trace.records = rep.vm("app").trace;
   print_diff(record::diff_traces(trace1, replay_trace));
 
-  std::remove((dir + "/app.djvutrace").c_str());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
   return 0;
 }

@@ -1,0 +1,73 @@
+// The one home of every cross-cutting performance/behaviour knob.
+//
+// Both core::SessionConfig and vm::VmConfig embed a TuningConfig, and
+// core/session.cc copies it across in a single assignment — adding a knob
+// means adding a field here (plus its consumer), never editing a field-by-
+// field copy in two structs.  Knobs that are *derived* per VM (chaos_seed,
+// the concrete spool file path) stay in VmConfig: they are outputs of the
+// session's conversion point, not user-facing tuning.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace djvu {
+
+/// Shared record/replay tuning knobs (see vm::VmConfig for the semantics of
+/// each; the doc comments there are authoritative for how the VM consumes
+/// them).
+struct TuningConfig {
+  /// Replay stall detector window (vm::VmConfig docs).
+  std::chrono::milliseconds stall_timeout{10000};
+
+  /// Record-mode sharded GC-critical sections; off = the paper-faithful
+  /// single section (ablation baseline).
+  bool record_sharding = true;
+
+  /// Stripes in the sharded record lock table (record_sharding only).
+  std::size_t record_stripes = 64;
+
+  /// Replay-mode interval leasing; off = the paper-faithful per-event
+  /// await/tick protocol (ablation baseline).
+  bool replay_leasing = true;
+
+  /// Events between intra-lease counter publications (replay_leasing only).
+  GlobalCount lease_publish_stride = 1024;
+
+  /// Record-phase schedule fuzzing probability; each VM derives its own
+  /// chaos stream from the network seed and its id.
+  double chaos_prob = 0.0;
+
+  // --- streaming log spooler (record/log_spool.h) --------------------------
+
+  /// When non-empty, record mode streams its log to
+  /// `<spool_dir>/<vm name>.djvuspool` through a background writer thread
+  /// instead of accumulating it in memory: resident log state stays O(spool
+  /// buffer), the file is crash-consistent chunk by chunk, and replay can
+  /// stream it back with Session::replay_from.  Empty = the in-memory
+  /// VmLog path (the default, and the only option for plain VMs).
+  std::string spool_dir;
+
+  /// Bound on bytes queued between the recording threads and the spool
+  /// writer.  Producers that would exceed it block (backpressure) — this is
+  /// what makes record-mode memory O(buffer) instead of O(run length).
+  std::size_t spool_buffer_bytes = 1 << 20;
+
+  /// Target on-disk chunk size: items are packed into chunks of about this
+  /// many bytes, each self-delimiting and CRC'd, flushed as a unit.  Smaller
+  /// chunks = finer crash granularity, more framing overhead.
+  std::size_t spool_chunk_bytes = 64 << 10;
+
+  /// Compress chunk payloads (record::spool_codec, an LZ-style byte-pair
+  /// scheme).  Interval and trace encodings are already delta-varint tight;
+  /// compression mostly pays on open-world content chunks.
+  bool spool_compress = false;
+
+  friend bool operator==(const TuningConfig&, const TuningConfig&) = default;
+};
+
+}  // namespace djvu

@@ -1,10 +1,12 @@
 #include "core/session.h"
 
 #include <chrono>
+#include <filesystem>
 #include <set>
 #include <thread>
 
 #include "common/log.h"
+#include "record/log_spool.h"
 #include "record/serializer.h"
 #include "record/trace_io.h"
 #include "vm/thread.h"
@@ -16,6 +18,15 @@ const VmRunInfo& RunResult::vm(const std::string& name) const {
     if (info.name == name) return info;
   }
   throw UsageError("no VM named '" + name + "' in this run");
+}
+
+RecordingRef RunResult::recording() const {
+  if (spool_dir.empty()) {
+    throw UsageError(
+        "RunResult::recording(): this run did not spool (set "
+        "tuning.spool_dir or RunSpec::spool_dir to record to disk)");
+  }
+  return RecordingRef{spool_dir};
 }
 
 Session::Session(SessionConfig config) : config_(std::move(config)) {}
@@ -35,30 +46,94 @@ void Session::add_vm(std::string name, net::HostId host, bool djvm,
                           djvm ? next_id : 0});
 }
 
+RunResult Session::run(const RunSpec& spec) {
+  switch (spec.mode) {
+    case RunSpec::Mode::kNative:
+      return run_impl(vm::Mode::kPassthrough, nullptr, spec.seed, "");
+    case RunSpec::Mode::kRecord:
+      return run_impl(vm::Mode::kRecord, nullptr, spec.seed,
+                      spec.spool_dir ? *spec.spool_dir
+                                     : config_.tuning.spool_dir);
+    case RunSpec::Mode::kReplay: {
+      const int sources = (spec.recorded != nullptr) + (spec.logs != nullptr) +
+                          spec.recording.has_value();
+      if (sources != 1) {
+        throw UsageError(
+            "RunSpec replay needs exactly one log source (recorded / logs / "
+            "recording), got " +
+            std::to_string(sources));
+      }
+      if (spec.logs != nullptr) {
+        return run_impl(vm::Mode::kReplay, spec.logs, spec.seed, "");
+      }
+      std::vector<record::VmLog> logs;
+      if (spec.recorded != nullptr) {
+        for (const auto& info : spec.recorded->vms) {
+          if (!info.spool_path.empty()) {
+            // Spooled recording: stream the file back — replay consumes
+            // exactly what survived on disk.
+            logs.push_back(record::load_spooled_log(info.spool_path));
+          } else if (info.log) {
+            // Round-trip through the serializer: replay consumes exactly
+            // what a log file would contain, never in-memory state the
+            // file lacks.
+            logs.push_back(record::deserialize(record::serialize(*info.log)));
+          }
+        }
+      } else {
+        for (const auto& s : specs_) {
+          if (!s.djvm) continue;
+          logs.push_back(record::load_spooled_log(
+              spec.recording->dir + "/" + s.name + ".djvuspool"));
+        }
+      }
+      return run_impl(vm::Mode::kReplay, &logs, spec.seed, "");
+    }
+  }
+  throw UsageError("unreachable");
+}
+
 RunResult Session::run_native() {
-  return run(vm::Mode::kPassthrough, nullptr, {});
+  return run(RunSpec{});
 }
 
 RunResult Session::record(std::optional<std::uint64_t> seed_override) {
-  return run(vm::Mode::kRecord, nullptr, seed_override);
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kRecord;
+  spec.seed = seed_override;
+  return run(spec);
 }
 
 RunResult Session::replay(const RunResult& recorded,
                           std::optional<std::uint64_t> seed_override) {
-  std::vector<record::VmLog> logs;
-  for (const auto& info : recorded.vms) {
-    if (info.log) {
-      // Round-trip through the serializer: replay consumes exactly what a
-      // log file would contain, never in-memory state the file lacks.
-      logs.push_back(record::deserialize(record::serialize(*info.log)));
-    }
-  }
-  return replay_logs(logs, seed_override);
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kReplay;
+  spec.seed = seed_override;
+  spec.recorded = &recorded;
+  return run(spec);
 }
 
 RunResult Session::replay_logs(const std::vector<record::VmLog>& logs,
                                std::optional<std::uint64_t> seed_override) {
-  return run(vm::Mode::kReplay, &logs, seed_override);
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kReplay;
+  spec.seed = seed_override;
+  spec.logs = &logs;
+  return run(spec);
+}
+
+RunResult Session::replay_from(const RecordingRef& rec,
+                               std::optional<std::uint64_t> seed_override) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kReplay;
+  spec.seed = seed_override;
+  spec.recording = rec;
+  return run(spec);
+}
+
+RunResult Session::replay_from(const std::string& spool_dir,
+                               std::optional<std::uint64_t> seed_override) {
+  return replay_from(RecordingRef{spool_dir}, seed_override);
 }
 
 std::optional<RunResult> Session::record_until(
@@ -72,14 +147,18 @@ std::optional<RunResult> Session::record_until(
   return std::nullopt;
 }
 
-RunResult Session::run(vm::Mode djvm_mode,
-                       const std::vector<record::VmLog>* logs,
-                       std::optional<std::uint64_t> seed_override) {
+RunResult Session::run_impl(vm::Mode djvm_mode,
+                            const std::vector<record::VmLog>* logs,
+                            std::optional<std::uint64_t> seed_override,
+                            const std::string& spool_dir) {
   if (specs_.empty()) throw UsageError("Session has no VMs");
 
   net::NetworkConfig net_config = config_.net;
   if (seed_override) net_config.seed = *seed_override;
   auto network = std::make_shared<net::Network>(net_config);
+
+  const bool spooling = djvm_mode == vm::Mode::kRecord && !spool_dir.empty();
+  if (spooling) std::filesystem::create_directories(spool_dir);
 
   // World knowledge: the hosts that run DJVMs.
   std::set<net::HostId> djvm_hosts;
@@ -110,12 +189,13 @@ RunResult Session::run(vm::Mode djvm_mode,
     cfg.mode = instrumented ? djvm_mode : vm::Mode::kPassthrough;
     cfg.djvm_hosts = djvm_hosts;
     cfg.keep_trace = config_.keep_trace;
-    cfg.stall_timeout = config_.stall_timeout;
-    cfg.record_sharding = config_.record_sharding;
-    cfg.replay_leasing = config_.replay_leasing;
-    cfg.lease_publish_stride = config_.lease_publish_stride;
-    cfg.chaos_prob = config_.chaos_prob;
+    // The single conversion point between session and VM configuration:
+    // shared knobs cross in one assignment, then the per-VM derived values.
+    cfg.tuning = config_.tuning;
     cfg.chaos_seed = net_config.seed * 1000003 + spec.vm_id;
+    if (spooling && instrumented) {
+      cfg.spool_path = spool_dir + "/" + spec.name + ".djvuspool";
+    }
 
     std::shared_ptr<const record::VmLog> replay_log;
     if (cfg.mode == vm::Mode::kReplay) {
@@ -165,6 +245,7 @@ RunResult Session::run(vm::Mode djvm_mode,
 
   RunResult result;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  if (spooling) result.spool_dir = spool_dir;
   for (auto& r : running) {
     VmRunInfo info;
     info.name = r.spec->name;
@@ -174,12 +255,27 @@ RunResult Session::run(vm::Mode djvm_mode,
     info.network_events = r.machine->network_events();
     info.sched = r.machine->sched_stats();
     info.wall_seconds = r.wall_seconds;
-    if (config_.keep_trace) {
+    if (config_.keep_trace && !r.machine->spooling()) {
       info.trace = r.machine->trace().sorted();
       info.trace_digest = r.machine->trace().digest();
     }
     if (r.machine->mode() == vm::Mode::kRecord) {
-      info.log = r.machine->finish_record();
+      record::VmLog log = r.machine->finish_record();
+      if (r.machine->spooling()) {
+        // The log lives on disk; the in-memory result carries only the
+        // pointer and the spooler's self-measurements.  The trace — never
+        // resident during the run — is read back from the sealed file so
+        // verification works unchanged.
+        info.spool_path = r.machine->spool_path();
+        info.spool = r.machine->spool_stats();
+        if (config_.keep_trace) {
+          record::SpoolContents contents = record::load_spool(info.spool_path);
+          info.trace = std::move(contents.trace.records);
+          info.trace_digest = sched::trace_digest(info.trace);
+        }
+      } else {
+        info.log = std::move(log);
+      }
     } else if (r.machine->mode() == vm::Mode::kReplay) {
       r.machine->finish_replay();
     }

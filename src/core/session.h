@@ -14,6 +14,13 @@
 //   auto rec = s.record();
 //   auto rep = s.replay(rec);        // re-executes only the DJVMs
 //   dejavu::verify(rec, rep);        // throws on the first divergence
+//
+// The named phases are wrappers over one entry point, run(RunSpec): mode +
+// seed + spool destination / replay source in a single struct.  With
+// tuning.spool_dir set (or RunSpec::spool_dir), record runs stream their
+// logs to disk in bounded memory and replay_from() replays them straight
+// from the spool files — including recordings of crashed processes, which
+// recover to their last intact chunk.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "common/tuning.h"
 #include "net/fault_model.h"
+#include "record/log_spool.h"
 #include "record/vm_log.h"
 #include "sched/trace.h"
 #include "vm/vm.h"
@@ -39,26 +48,13 @@ struct SessionConfig {
   /// benchmarks).
   bool keep_trace = true;
 
-  /// Replay stall detector (see vm::VmConfig::stall_timeout).
-  std::chrono::milliseconds stall_timeout{10000};
-
-  /// Record-mode sharded GC-critical sections (see
-  /// vm::VmConfig::record_sharding).  Off = the paper-faithful single
-  /// section, the ablation baseline.
-  bool record_sharding = true;
-
-  /// Replay-mode interval leasing (see vm::VmConfig::replay_leasing).
-  /// Off = the paper-faithful per-event await/tick protocol, the ablation
-  /// baseline.
-  bool replay_leasing = true;
-
-  /// Events between intra-lease counter publications (see
-  /// vm::VmConfig::lease_publish_stride).
-  std::uint64_t lease_publish_stride = 1024;
-
-  /// Record-phase schedule fuzzing (see vm::VmConfig::chaos_prob); each VM
-  /// derives its own chaos stream from the network seed and its id.
-  double chaos_prob = 0.0;
+  /// Shared performance/behaviour knobs — stall detector, record sharding,
+  /// replay leasing, chaos fuzzing, log spooling.  The same struct is
+  /// embedded in vm::VmConfig (whose doc comments are authoritative for
+  /// each knob's semantics) and copied across in one assignment in
+  /// session.cc; per-VM derived values (chaos seed, the concrete spool
+  /// file path) are computed there, not configured here.
+  TuningConfig tuning;
 };
 
 /// Outcome of one VM in one run.
@@ -74,8 +70,18 @@ struct VmRunInfo {
   /// Trace digest (0 when tracing is off).
   std::uint64_t trace_digest = 0;
 
-  /// Complete log bundle (record runs of DJVMs only).
+  /// Complete log bundle (record runs of DJVMs only; empty when the run
+  /// spooled — the data lives in the file at `spool_path` instead).
   std::optional<record::VmLog> log;
+
+  /// Spool file this VM recorded into ("" when the run kept its log in
+  /// memory).  Replay of this RunResult streams the file back.
+  std::string spool_path;
+
+  /// Spooler self-measurements (all zero when not spooled).
+  /// spool.queue_high_water_bytes is the bounded-memory witness: it never
+  /// exceeds tuning.spool_buffer_bytes (+ one oversized item).
+  record::SpoolStats spool{};
 
   GlobalCount critical_events = 0;
   std::uint64_t network_events = 0;
@@ -90,6 +96,15 @@ struct VmRunInfo {
   double wall_seconds = 0;
 };
 
+/// Handle to a spooled recording on disk: the directory holding one
+/// <name>.djvuspool file per DJVM.  Obtained from RunResult::recording()
+/// after a spooled record run, or constructed directly to replay a
+/// recording made by an earlier process (including one that crashed —
+/// spool files recover to their last valid chunk).
+struct RecordingRef {
+  std::string dir;
+};
+
 /// Outcome of one whole-application run.
 struct RunResult {
   std::vector<VmRunInfo> vms;
@@ -97,8 +112,43 @@ struct RunResult {
   /// Wall-clock seconds for the whole run (drives "rec ovhd" rows).
   double wall_seconds = 0;
 
+  /// Directory the run spooled into ("" for in-memory runs).
+  std::string spool_dir;
+
+  /// Handle for replaying this run's on-disk spool files (possibly from
+  /// another process); throws UsageError when the run did not spool.
+  RecordingRef recording() const;
+
   /// Finds a VM's info by name; throws UsageError when absent.
   const VmRunInfo& vm(const std::string& name) const;
+};
+
+/// What Session::run should do — the one entry point behind which the
+/// run_native()/record()/replay() trio are thin wrappers.
+struct RunSpec {
+  enum class Mode {
+    kNative,  ///< everything uninstrumented (baseline "unmodified JVM")
+    kRecord,  ///< DJVMs record, plain VMs run raw
+    kReplay,  ///< re-execute only the DJVMs against recorded logs
+  };
+
+  Mode mode = Mode::kNative;
+
+  /// Replaces the configured network seed for this run (sweeps).
+  std::optional<std::uint64_t> seed;
+
+  /// kRecord: overrides tuning.spool_dir for this run — set to a directory
+  /// to spool this recording there, or to "" to force the in-memory path.
+  std::optional<std::string> spool_dir;
+
+  // --- kReplay log source: set exactly one -------------------------------
+  /// A record() result from this process (in-memory or spooled).
+  const RunResult* recorded = nullptr;
+  /// Explicit log bundles (e.g. loaded from disk with load_logs).
+  const std::vector<record::VmLog>* logs = nullptr;
+  /// A spooled recording on disk (streams each file back; tolerates torn
+  /// tails by replaying the recovered prefix).
+  std::optional<RecordingRef> recording;
 };
 
 /// One distributed application, runnable repeatedly.
@@ -111,21 +161,41 @@ class Session {
   void add_vm(std::string name, net::HostId host, bool djvm,
               std::function<void(vm::Vm&)> main);
 
+  /// The one run entry point: mode, seed, spool destination and replay
+  /// source in a single spec.  The named methods below are thin wrappers
+  /// over this.
+  RunResult run(const RunSpec& spec);
+
   /// Runs everything uninstrumented (the baseline "unmodified JVM").
+  /// Equivalent to run({.mode = RunSpec::Mode::kNative}).
   RunResult run_native();
 
   /// Record phase: DJVMs record, plain VMs run raw.  `seed_override`
-  /// replaces the configured network seed (sweeps).
+  /// replaces the configured network seed (sweeps).  Spools when
+  /// tuning.spool_dir is set.  Equivalent to run({.mode = kRecord, ...}).
   RunResult record(std::optional<std::uint64_t> seed_override = {});
 
-  /// Replay phase: re-executes only the DJVMs against the recorded logs.
-  /// The network seed may differ — replay must be immune to replay-time
-  /// network behaviour (invariants I2/I5).
+  /// Replay phase: re-executes only the DJVMs against the recorded logs
+  /// (streamed from spool files when `recorded` spooled).  The network
+  /// seed may differ — replay must be immune to replay-time network
+  /// behaviour (invariants I2/I5).  Equivalent to run({.mode = kReplay,
+  /// .recorded = &recorded, ...}).
   RunResult replay(const RunResult& recorded,
                    std::optional<std::uint64_t> seed_override = {});
 
   /// Replay from explicitly supplied logs (e.g. loaded from disk).
+  /// Equivalent to run({.mode = kReplay, .logs = &logs, ...}).
   RunResult replay_logs(const std::vector<record::VmLog>& logs,
+                        std::optional<std::uint64_t> seed_override = {});
+
+  /// Replay a spooled recording straight from disk: streams each
+  /// <name>.djvuspool in `rec.dir` (or the bare directory-path overload)
+  /// through record::LogSource.  A torn tail — the recording process
+  /// crashed mid-run — replays the recovered prefix instead of failing.
+  /// Equivalent to run({.mode = kReplay, .recording = rec, ...}).
+  RunResult replay_from(const RecordingRef& rec,
+                        std::optional<std::uint64_t> seed_override = {});
+  RunResult replay_from(const std::string& spool_dir,
                         std::optional<std::uint64_t> seed_override = {});
 
   /// The bug-hunting loop: records repeatedly (a fresh seed per attempt)
@@ -155,8 +225,10 @@ class Session {
     DjvmId vm_id;  // assigned in declaration order (DJVMs only)
   };
 
-  RunResult run(vm::Mode djvm_mode, const std::vector<record::VmLog>* logs,
-                std::optional<std::uint64_t> seed_override);
+  RunResult run_impl(vm::Mode djvm_mode,
+                     const std::vector<record::VmLog>* logs,
+                     std::optional<std::uint64_t> seed_override,
+                     const std::string& spool_dir);
 
   SessionConfig config_;
   std::vector<VmSpec> specs_;

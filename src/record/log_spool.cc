@@ -1,0 +1,629 @@
+#include "record/log_spool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "record/serializer.h"
+#include "record/spool_codec.h"
+
+namespace djvu::record {
+namespace {
+
+constexpr char kSpoolMagic[8] = {'D', 'J', 'V', 'U', 'S', 'P', 'L', '1'};
+constexpr char kTraceMagic[8] = {'D', 'J', 'V', 'U', 'T', 'R', 'C', '1'};
+constexpr std::uint16_t kSpoolVersion = 1;
+constexpr std::uint16_t kTraceVersion = 1;
+
+/// Queue accounting charge per item beyond its body (deque node, kind,
+/// flags) — keeps the bounded-buffer arithmetic byte-honest.
+constexpr std::size_t kItemOverhead = 16;
+
+/// Chunk frame: payload_len u32 + codec u8 + crc32 u32.
+constexpr std::size_t kChunkFrameBytes = 4 + 1 + 4;
+
+/// Fixed file header: magic 8 + version 2 + vm_id 4 + flags 1.
+constexpr std::size_t kSpoolHeaderBytes = 8 + 2 + 4 + 1;
+
+/// A declared chunk length beyond this is treated as a torn tail, not an
+/// allocation request (a torn length field can claim anything).
+constexpr std::uint32_t kMaxChunkLen = 64u << 20;
+
+/// Records per synthesized kTrace item when streaming a DJVUTRC1 file.
+constexpr std::size_t kTraceFileBatch = 512;
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+}  // namespace
+
+// --- item body codecs -------------------------------------------------------
+
+Bytes encode_schedule_item(ThreadNum thread,
+                           const sched::IntervalList& intervals) {
+  ByteWriter w;
+  w.varint(thread);
+  w.varint(intervals.size());
+  GlobalCount prev_end = 0;  // deltas restart per item (self-contained)
+  for (const auto& lsi : intervals) {
+    w.varint(lsi.first - prev_end);
+    w.varint(lsi.last - lsi.first);
+    prev_end = lsi.last;
+  }
+  return w.take();
+}
+
+std::pair<ThreadNum, sched::IntervalList> decode_schedule_item(BytesView body) {
+  ByteReader r(body);
+  const auto thread = static_cast<ThreadNum>(r.varint());
+  const std::uint64_t n = r.varint();
+  sched::IntervalList list;
+  list.reserve(n);
+  GlobalCount prev_end = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const GlobalCount first = prev_end + r.varint();
+    const GlobalCount last = first + r.varint();
+    list.push_back({first, last});
+    prev_end = last;
+  }
+  if (!r.at_end()) throw LogFormatError("trailing bytes in schedule item");
+  return {thread, std::move(list)};
+}
+
+Bytes encode_network_item(ThreadNum thread, const NetworkLogEntry& entry) {
+  ByteWriter w;
+  w.varint(thread);
+  write_network_entry(w, entry);
+  return w.take();
+}
+
+std::pair<ThreadNum, NetworkLogEntry> decode_network_item(BytesView body) {
+  ByteReader r(body);
+  const auto thread = static_cast<ThreadNum>(r.varint());
+  NetworkLogEntry entry = read_network_entry(r);
+  if (!r.at_end()) throw LogFormatError("trailing bytes in network item");
+  return {thread, std::move(entry)};
+}
+
+Bytes encode_trace_item(const std::vector<sched::TraceRecord>& records) {
+  // Hot path: this runs once per flushed trace batch, over every critical
+  // event of a spooled recording.  Reserving for the common small-delta
+  // case (and spilling per-byte only when a vector grows) keeps it to a
+  // few ns per record where the generic ByteWriter costs several times
+  // that in per-byte capacity checks.
+  Bytes out;
+  out.reserve(records.size() * 14 + 10);
+  auto put_varint = [&out](std::uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+  };
+  put_varint(records.size());
+  GlobalCount prev = 0;  // one thread's batch: gc ascending, deltas tight
+  for (const auto& rec : records) {
+    put_varint(rec.gc - prev);
+    prev = rec.gc;
+    put_varint(rec.thread);
+    out.push_back(static_cast<std::uint8_t>(rec.kind));
+    std::uint64_t aux = rec.aux;
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(aux));
+      aux >>= 8;
+    }
+  }
+  return out;
+}
+
+std::vector<sched::TraceRecord> decode_trace_item(BytesView body) {
+  ByteReader r(body);
+  const std::uint64_t n = r.varint();
+  std::vector<sched::TraceRecord> records;
+  records.reserve(n);
+  GlobalCount gc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sched::TraceRecord rec;
+    gc += r.varint();
+    rec.gc = gc;
+    rec.thread = static_cast<ThreadNum>(r.varint());
+    rec.kind = static_cast<sched::EventKind>(r.u8());
+    rec.aux = r.u64();
+    records.push_back(rec);
+  }
+  if (!r.at_end()) throw LogFormatError("trailing bytes in trace item");
+  return records;
+}
+
+Bytes encode_finish_item(const SpoolFinish& finish) {
+  ByteWriter w;
+  w.varint(finish.stats.critical_events);
+  w.varint(finish.stats.network_events);
+  w.varint(finish.thread_count);
+  return w.take();
+}
+
+SpoolFinish decode_finish_item(BytesView body) {
+  ByteReader r(body);
+  SpoolFinish finish;
+  finish.stats.critical_events = r.varint();
+  finish.stats.network_events = r.varint();
+  finish.thread_count = static_cast<std::uint32_t>(r.varint());
+  if (!r.at_end()) throw LogFormatError("trailing bytes in finish item");
+  return finish;
+}
+
+// --- LogSpooler -------------------------------------------------------------
+
+LogSpooler::LogSpooler(DjvmId vm_id, Options options)
+    : options_(std::move(options)) {
+  file_ = std::fopen(options_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw Error("cannot open spool file " + options_.path + " for writing");
+  }
+  ByteWriter header;
+  header.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kSpoolMagic), 8));
+  header.u16(kSpoolVersion);
+  header.u32(vm_id);
+  header.u8(options_.compress ? 1 : 0);
+  const BytesView hv = header.view();
+  if (std::fwrite(hv.data(), 1, hv.size(), file_) != hv.size() ||
+      std::fflush(file_) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw Error("cannot write spool header to " + options_.path);
+  }
+  stats_.written_bytes = hv.size();
+  writer_ = std::thread([this] { writer_main(); });
+}
+
+LogSpooler::~LogSpooler() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: the error was already latched for close() callers;
+    // a throwing destructor would terminate instead of surfacing it.
+  }
+}
+
+void LogSpooler::schedule_batch(ThreadNum thread,
+                                const sched::IntervalList& intervals) {
+  if (intervals.empty()) return;
+  enqueue({SpoolItemKind::kSchedule, encode_schedule_item(thread, intervals),
+           /*records=*/{}, /*own_chunk=*/false});
+}
+
+void LogSpooler::network_entry(ThreadNum thread, const NetworkLogEntry& entry) {
+  enqueue({SpoolItemKind::kNetwork, encode_network_item(thread, entry),
+           /*records=*/{}, /*own_chunk=*/false});
+}
+
+void LogSpooler::trace_batch(std::vector<sched::TraceRecord> records) {
+  if (records.empty()) return;
+  // Raw records ride the queue; the writer thread serializes them, so the
+  // recording thread pays only for the vector handoff here.
+  Item item{SpoolItemKind::kTrace, {}, std::move(records)};
+  enqueue(std::move(item));
+}
+
+void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) throw UsageError("LogSpooler::finish called twice");
+    finished_ = true;
+  }
+  // Its own chunk: a torn final chunk then costs exactly the clean-end
+  // marker, never schedule/network/trace data sealed earlier.
+  enqueue({SpoolItemKind::kFinish, encode_finish_item({stats, thread_count}),
+           /*records=*/{}, /*own_chunk=*/true});
+}
+
+void LogSpooler::enqueue(Item item) {
+  item.cost = item.body.size() +
+              item.records.size() * sizeof(sched::TraceRecord) + kItemOverhead;
+  const std::size_t cost = item.cost;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closing_) throw UsageError("LogSpooler used after close()");
+  bool blocked = false;
+  producer_cv_.wait(lock, [&] {
+    if (writer_error_ || closing_) return true;
+    // An item larger than the whole buffer is admitted alone into an empty
+    // queue — backpressure bounds memory, it must never deadlock.
+    if (pending_bytes_ + cost <= options_.buffer_bytes || queue_.empty()) {
+      return true;
+    }
+    blocked = true;
+    return false;
+  });
+  if (writer_error_) std::rethrow_exception(writer_error_);
+  if (closing_) throw UsageError("LogSpooler used after close()");
+  if (blocked) ++stats_.producer_blocks;
+  pending_bytes_ += cost;
+  stats_.queue_high_water_bytes =
+      std::max<std::uint64_t>(stats_.queue_high_water_bytes, pending_bytes_);
+  ++stats_.items_enqueued;
+  queue_.push_back(std::move(item));
+  writer_cv_.notify_one();
+}
+
+void LogSpooler::writer_main() {
+  ByteWriter chunk;
+  try {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        writer_cv_.wait(lock, [&] { return !queue_.empty() || closing_; });
+        if (queue_.empty()) break;  // closing_ and drained
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        pending_bytes_ -= item.cost;
+        producer_cv_.notify_all();
+      }
+      if (!item.records.empty()) {
+        // Deferred serialization: trace batches are encoded here, off the
+        // producers' critical path.
+        item.body = encode_trace_item(item.records);
+        item.records.clear();
+      }
+      if (item.own_chunk && chunk.size() > 0) {
+        write_chunk(chunk.view());
+        chunk = ByteWriter();
+      }
+      chunk.u8(static_cast<std::uint8_t>(item.kind))
+          .varint(item.body.size())
+          .raw(item.body);
+      if (item.own_chunk || chunk.size() >= options_.chunk_bytes) {
+        write_chunk(chunk.view());
+        chunk = ByteWriter();
+      }
+    }
+    if (chunk.size() > 0) write_chunk(chunk.view());
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer_error_ = std::current_exception();
+    // Unblock producers: their next enqueue rethrows the error.
+    queue_.clear();
+    pending_bytes_ = 0;
+    producer_cv_.notify_all();
+  }
+}
+
+void LogSpooler::write_chunk(BytesView payload) {
+  Bytes compressed;
+  BytesView out = payload;
+  SpoolCodec codec = SpoolCodec::kRaw;
+  if (options_.compress) {
+    compressed = spool_compress(payload);
+    if (compressed.size() < payload.size()) {
+      out = compressed;
+      codec = SpoolCodec::kLz;
+    }
+  }
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(out.size()));
+  frame.u8(static_cast<std::uint8_t>(codec));
+  frame.u32(crc32(out));
+  const BytesView fv = frame.view();
+  if (std::fwrite(fv.data(), 1, fv.size(), file_) != fv.size() ||
+      std::fwrite(out.data(), 1, out.size(), file_) != out.size() ||
+      std::fflush(file_) != 0) {
+    throw Error("spool write failed: " + options_.path);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.chunks_written;
+  stats_.raw_bytes += payload.size();
+  stats_.written_bytes += fv.size() + out.size();
+}
+
+void LogSpooler::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_ && !writer_.joinable()) {
+      if (writer_error_) std::rethrow_exception(writer_error_);
+      return;
+    }
+    closing_ = true;
+  }
+  writer_cv_.notify_all();
+  producer_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (writer_error_) std::rethrow_exception(writer_error_);
+}
+
+SpoolStats LogSpooler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// --- LogSource --------------------------------------------------------------
+
+LogSource::LogSource(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw Error("cannot open " + path + " for reading");
+  }
+  std::fseek(file_, 0, SEEK_END);
+  file_size_ = static_cast<std::uint64_t>(std::ftell(file_));
+  std::fseek(file_, 0, SEEK_SET);
+
+  std::uint8_t header[kSpoolHeaderBytes];
+  if (!read_exact(header, 8)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw LogFormatError("file too small to hold a spool/trace header: " +
+                         path);
+  }
+  const bool spool = std::memcmp(header, kSpoolMagic, 8) == 0;
+  const bool trace = std::memcmp(header, kTraceMagic, 8) == 0;
+  try {
+    if (!spool && !trace) {
+      throw LogFormatError("bad magic: not a DJVUSPL/DJVUTRC file: " + path);
+    }
+    if (!read_exact(header, 2 + 4)) {
+      throw LogFormatError("torn header in " + path);
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>(header[0] | (header[1] << 8));
+    vm_id_ = le32(header + 2);
+    if (spool) {
+      if (version != kSpoolVersion) {
+        throw LogFormatError("unsupported spool version " +
+                             std::to_string(version));
+      }
+      std::uint8_t flags;
+      if (!read_exact(&flags, 1)) {
+        throw LogFormatError("torn header in " + path);
+      }
+      compressed_ = (flags & 1) != 0;
+    } else {
+      trace_backend_ = true;
+      if (version != kTraceVersion) {
+        throw LogFormatError("unsupported trace version " +
+                             std::to_string(version));
+      }
+      trace_remaining_ = read_varint();
+    }
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+LogSource::~LogSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool LogSource::read_exact(std::uint8_t* out, std::size_t n) {
+  return std::fread(out, 1, n, file_) == n;
+}
+
+std::uint64_t LogSource::read_varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    std::uint8_t b;
+    if (!read_exact(&b, 1)) {
+      throw LogFormatError("truncated varint in " + path_);
+    }
+    v |= std::uint64_t{b & 0x7f} << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw LogFormatError("overlong varint in " + path_);
+}
+
+std::optional<SpoolItem> LogSource::next() {
+  if (done_) return std::nullopt;
+  return trace_backend_ ? next_trace_item() : next_spool_item();
+}
+
+bool LogSource::read_chunk() {
+  const auto start = static_cast<std::uint64_t>(std::ftell(file_));
+  const auto torn = [&] { truncated_bytes_ = file_size_ - start; };
+  std::uint8_t frame[kChunkFrameBytes];
+  const std::size_t got = std::fread(frame, 1, kChunkFrameBytes, file_);
+  if (got == 0) return false;  // clean EOF at a chunk boundary
+  if (got < kChunkFrameBytes) {
+    torn();
+    return false;
+  }
+  const std::uint32_t len = le32(frame);
+  const std::uint8_t codec = frame[4];
+  const std::uint32_t crc = le32(frame + 5);
+  if (len > kMaxChunkLen) {  // a torn length field can claim anything
+    torn();
+    return false;
+  }
+  Bytes cpayload(len);
+  if (!read_exact(cpayload.data(), len)) {
+    torn();
+    return false;
+  }
+  if (crc32(cpayload) != crc) {
+    torn();
+    return false;
+  }
+  // Past this point the chunk is CRC-certified: failures below are writer
+  // bugs or version skew, not torn tails, and must be rejected loudly.
+  if (codec == static_cast<std::uint8_t>(SpoolCodec::kLz)) {
+    chunk_ = spool_decompress(cpayload);
+  } else if (codec == static_cast<std::uint8_t>(SpoolCodec::kRaw)) {
+    chunk_ = std::move(cpayload);
+  } else {
+    throw LogFormatError("unknown spool chunk codec " + std::to_string(codec));
+  }
+  chunk_pos_ = 0;
+  return true;
+}
+
+std::optional<SpoolItem> LogSource::next_spool_item() {
+  for (;;) {
+    if (chunk_pos_ >= chunk_.size()) {
+      if (!read_chunk()) {
+        done_ = true;
+        return std::nullopt;
+      }
+      continue;
+    }
+    ByteReader r(BytesView(chunk_).subspan(chunk_pos_));
+    SpoolItem item;
+    const std::uint8_t kind = r.u8();
+    if (kind < 1 || kind > 4) {
+      throw LogFormatError("unknown spool item kind " + std::to_string(kind));
+    }
+    item.kind = static_cast<SpoolItemKind>(kind);
+    const std::uint64_t body_len = r.varint();
+    item.body = r.raw(body_len);
+    chunk_pos_ += r.position();
+    if (item.kind == SpoolItemKind::kFinish) {
+      // The finish marker is the last item of a recording.  A CRC-valid
+      // chunk after it is corruption; a torn tail after it is appended
+      // garbage the prefix semantics simply drop.
+      if (chunk_pos_ < chunk_.size() || read_chunk()) {
+        throw LogFormatError("spool data after finish marker in " + path_);
+      }
+      done_ = true;
+      clean_end_ = true;
+    }
+    return item;
+  }
+}
+
+std::optional<SpoolItem> LogSource::next_trace_item() {
+  if (trace_remaining_ == 0) {
+    // Trailing CRC (4 bytes) deliberately unverified: the streaming reader
+    // trades the whole-file check for early exit (see class docs).
+    done_ = true;
+    clean_end_ = true;
+    return std::nullopt;
+  }
+  std::vector<sched::TraceRecord> batch;
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(trace_remaining_,
+                                                       kTraceFileBatch));
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TraceRecord rec;
+    trace_prev_gc_ += read_varint();
+    rec.gc = trace_prev_gc_;
+    rec.thread = static_cast<ThreadNum>(read_varint());
+    std::uint8_t kind_and_aux[9];
+    if (!read_exact(kind_and_aux, 9)) {
+      throw LogFormatError("truncated trace record in " + path_);
+    }
+    rec.kind = static_cast<sched::EventKind>(kind_and_aux[0]);
+    rec.aux = 0;
+    for (int b = 0; b < 8; ++b) {
+      rec.aux |= std::uint64_t{kind_and_aux[1 + b]} << (8 * b);
+    }
+    batch.push_back(rec);
+  }
+  trace_remaining_ -= n;
+  return SpoolItem{SpoolItemKind::kTrace, encode_trace_item(batch)};
+}
+
+// --- TraceRecordStream ------------------------------------------------------
+
+std::optional<sched::TraceRecord> TraceRecordStream::next() {
+  while (pos_ >= batch_.size()) {
+    std::optional<SpoolItem> item = source_.next();
+    if (!item) return std::nullopt;
+    if (item->kind != SpoolItemKind::kTrace) continue;
+    batch_ = decode_trace_item(item->body);
+    pos_ = 0;
+  }
+  return batch_[pos_++];
+}
+
+// --- loaders ----------------------------------------------------------------
+
+namespace {
+
+void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
+  switch (item.kind) {
+    case SpoolItemKind::kSchedule: {
+      auto [thread, list] = decode_schedule_item(item.body);
+      auto& per_thread = log.schedule.per_thread;
+      if (per_thread.size() <= thread) per_thread.resize(thread + 1);
+      auto& dst = per_thread[thread];
+      // Batches of one thread arrive in schedule order (drained by the
+      // owning thread through a FIFO queue), so appending reconstructs the
+      // recorder's list exactly.
+      dst.insert(dst.end(), list.begin(), list.end());
+      break;
+    }
+    case SpoolItemKind::kNetwork: {
+      auto [thread, entry] = decode_network_item(item.body);
+      log.network.append(thread, std::move(entry));
+      break;
+    }
+    case SpoolItemKind::kTrace: {
+      if (trace == nullptr) break;  // replay path: skip trace bodies
+      std::vector<sched::TraceRecord> records = decode_trace_item(item.body);
+      trace->records.insert(trace->records.end(), records.begin(),
+                            records.end());
+      break;
+    }
+    case SpoolItemKind::kFinish: {
+      const SpoolFinish finish = decode_finish_item(item.body);
+      log.stats = finish.stats;
+      if (log.schedule.per_thread.size() < finish.thread_count) {
+        log.schedule.per_thread.resize(finish.thread_count);
+      }
+      break;
+    }
+  }
+}
+
+VmLog stream_spool(const std::string& path, TraceFile* trace, bool* clean_end,
+                   std::uint64_t* truncated_bytes) {
+  LogSource source(path);
+  if (source.is_trace_file()) {
+    throw LogFormatError("expected a DJVUSPL spool file, got a trace file: " +
+                         path);
+  }
+  VmLog log;
+  log.vm_id = source.vm_id();
+  while (std::optional<SpoolItem> item = source.next()) {
+    fold_item(*item, log, trace);
+  }
+  if (!source.clean_end()) {
+    // Recovered prefix: no finish item.  The intervals are the exact set of
+    // events replaying the prefix will execute, so their count is the
+    // correct counter target; network_events is unknowable without the
+    // trace and stays 0.
+    log.stats.critical_events = log.schedule.event_count();
+  }
+  if (trace != nullptr) {
+    trace->vm_id = source.vm_id();
+    std::sort(trace->records.begin(), trace->records.end(),
+              [](const sched::TraceRecord& a, const sched::TraceRecord& b) {
+                return a.gc < b.gc;
+              });
+  }
+  if (clean_end != nullptr) *clean_end = source.clean_end();
+  if (truncated_bytes != nullptr) *truncated_bytes = source.truncated_bytes();
+  return log;
+}
+
+}  // namespace
+
+SpoolContents load_spool(const std::string& path) {
+  SpoolContents contents;
+  contents.log = stream_spool(path, &contents.trace, &contents.clean_end,
+                              &contents.truncated_bytes);
+  return contents;
+}
+
+VmLog load_spooled_log(const std::string& path, bool* clean_end) {
+  return stream_spool(path, nullptr, clean_end, nullptr);
+}
+
+}  // namespace djvu::record

@@ -1,0 +1,311 @@
+// Streaming log spooler: bounded-memory record runs with crash-consistent
+// chunked persistence.
+//
+// The in-memory record path accumulates the whole VmLog (schedule +
+// network log) and every thread's trace buffer until the run ends — O(run
+// length) resident memory, and a crash loses everything.  The spooler
+// converts that to O(buffer): recording threads hand their batches to a
+// bounded byte-accounted queue, a background writer thread packs them into
+// self-delimiting CRC'd chunks and appends them to one spool file per
+// recording VM, flushing chunk by chunk.  Replay streams the file back
+// through LogSource into the existing IntervalCursor / network-log
+// machinery without ever materializing the serialized bundle or the trace.
+//
+// On-disk format DJVUSPL1:
+//
+//   file   := header chunk*
+//   header := magic "DJVUSPL1" (8) | version u16 | vm_id u32 | flags u8
+//   chunk  := payload_len u32 | codec u8 | crc32 u32 | payload
+//   payload (after optional decompression, see record/spool_codec.h)
+//          := item*
+//   item   := kind u8 | body_len varint | body
+//
+// Item bodies reuse the conventions of record/serializer.cc and
+// record/trace_io.cc: delta-varint interval pairs, the shared network-entry
+// encoding, delta-varint trace records.  Every chunk is independently
+// decodable (deltas restart per item), so a reader needs only one chunk in
+// memory at a time.
+//
+// Crash consistency (recover-to-prefix): the CRC makes each chunk
+// self-certifying, and the writer flushes after sealing each chunk, so a
+// crash can only tear the final chunk.  LogSource drops a torn tail —
+// short frame or CRC mismatch — and ends the stream at the last valid
+// chunk boundary instead of rejecting the file; clean_end() distinguishes
+// a finish-marked recording from a recovered prefix.  The finish item is
+// always sealed into its own final chunk, so a torn tail costs at most the
+// clean-end marker plus the final partial batch, never earlier data.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "record/trace_io.h"
+#include "record/vm_log.h"
+#include "sched/trace.h"
+
+namespace djvu::record {
+
+/// Kinds of self-describing items inside spool chunks.
+enum class SpoolItemKind : std::uint8_t {
+  kSchedule = 1,  ///< one thread's batch of closed logical intervals
+  kNetwork = 2,   ///< one network log entry (thread + entry)
+  kTrace = 3,     ///< one thread's batch of execution-trace records
+  kFinish = 4,    ///< end-of-recording stats; marks a clean end
+};
+
+/// One decoded item streamed out of a spool (or trace) file.
+struct SpoolItem {
+  SpoolItemKind kind = SpoolItemKind::kTrace;
+  Bytes body;
+};
+
+/// End-of-recording marker payload.
+struct SpoolFinish {
+  RecordStats stats;
+  std::uint32_t thread_count = 0;
+};
+
+// Item body codecs (shared by the spooler, LogSource, and tests).  Schedule
+// and trace bodies delta-encode within the batch, starting absolute, so
+// each item decodes without cross-item state.
+Bytes encode_schedule_item(ThreadNum thread,
+                           const sched::IntervalList& intervals);
+std::pair<ThreadNum, sched::IntervalList> decode_schedule_item(BytesView body);
+Bytes encode_network_item(ThreadNum thread, const NetworkLogEntry& entry);
+std::pair<ThreadNum, NetworkLogEntry> decode_network_item(BytesView body);
+Bytes encode_trace_item(const std::vector<sched::TraceRecord>& records);
+std::vector<sched::TraceRecord> decode_trace_item(BytesView body);
+Bytes encode_finish_item(const SpoolFinish& finish);
+SpoolFinish decode_finish_item(BytesView body);
+
+/// Self-measurements of one spooler run (snapshot; never blocks the
+/// writer).
+struct SpoolStats {
+  std::uint64_t items_enqueued = 0;
+  std::uint64_t chunks_written = 0;
+
+  /// Payload bytes before compression / framing.
+  std::uint64_t raw_bytes = 0;
+
+  /// File bytes actually written (framing + possibly compressed payloads).
+  std::uint64_t written_bytes = 0;
+
+  /// High-water mark of bytes queued between producers and the writer —
+  /// the bounded-memory witness: it never exceeds the configured buffer
+  /// (plus one oversized item, which is admitted alone into an empty
+  /// queue rather than deadlocking).
+  std::uint64_t queue_high_water_bytes = 0;
+
+  /// Producer enqueues that had to block on backpressure.
+  std::uint64_t producer_blocks = 0;
+};
+
+/// Record-side sink for log data.  vm::Vm feeds one of these when spooling
+/// is configured; LogSpooler is the production implementation, tests may
+/// substitute their own.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// A batch of `thread`'s closed logical intervals, in schedule order.
+  /// Called only by the owning thread (periodic flush, thread end/detach)
+  /// or by the finishing thread after all workers quiesced.
+  virtual void schedule_batch(ThreadNum thread,
+                              const sched::IntervalList& intervals) = 0;
+
+  /// One recorded network event outcome (any thread, its own events).
+  virtual void network_entry(ThreadNum thread,
+                             const NetworkLogEntry& entry) = 0;
+
+  /// A batch of one thread's buffered trace records, in that thread's
+  /// program (= gc) order.  By value: the producer hands its buffer over
+  /// (move it in) and serialization happens off the producer's critical
+  /// path, on the writer thread.
+  virtual void trace_batch(std::vector<sched::TraceRecord> records) = 0;
+
+  /// End of recording: final stats and the number of threads created.
+  virtual void finish(const RecordStats& stats, std::uint32_t thread_count) = 0;
+};
+
+/// The streaming spooler: a LogSink backed by a bounded queue and a
+/// background writer thread appending DJVUSPL1 chunks to one file.
+class LogSpooler : public LogSink {
+ public:
+  struct Options {
+    std::string path;
+    std::size_t buffer_bytes = 1 << 20;
+    std::size_t chunk_bytes = 64 << 10;
+    bool compress = false;
+  };
+
+  /// Opens `options.path` for writing and starts the writer thread; throws
+  /// Error when the file cannot be created.
+  LogSpooler(DjvmId vm_id, Options options);
+
+  /// Closes implicitly (without rethrowing writer errors — call close()
+  /// first to surface them).
+  ~LogSpooler() override;
+
+  LogSpooler(const LogSpooler&) = delete;
+  LogSpooler& operator=(const LogSpooler&) = delete;
+
+  // LogSink.  All producer calls apply backpressure: they block while the
+  // queue holds buffer_bytes, which is what bounds record-mode memory.  A
+  // writer I/O failure is rethrown to the next producer call (and to
+  // close()), so a full disk surfaces in the recording run.
+  void schedule_batch(ThreadNum thread,
+                      const sched::IntervalList& intervals) override;
+  void network_entry(ThreadNum thread, const NetworkLogEntry& entry) override;
+  void trace_batch(std::vector<sched::TraceRecord> records) override;
+  void finish(const RecordStats& stats, std::uint32_t thread_count) override;
+
+  /// Drains the queue, seals the final chunk, joins the writer and closes
+  /// the file.  Idempotent.  Rethrows any writer-thread error.
+  void close();
+
+  SpoolStats stats() const;
+  const std::string& path() const { return options_.path; }
+
+ private:
+  struct Item {
+    SpoolItemKind kind;
+    Bytes body;
+    /// Trace batches ride the queue raw and are encoded by the writer
+    /// thread — serialization overlaps with the recording threads instead
+    /// of taxing their critical events.  Non-empty iff kind == kTrace.
+    std::vector<sched::TraceRecord> records;
+    /// Sealed into its own chunk (the finish marker), so a torn final
+    /// chunk never takes earlier items with it.
+    bool own_chunk = false;
+    /// Byte-accounting cost charged against buffer_bytes (set by enqueue).
+    std::size_t cost = 0;
+  };
+
+  void enqueue(Item item);
+  void writer_main();
+  /// Appends one framed chunk to the file and flushes; throws Error on I/O
+  /// failure.  Writer thread only.
+  void write_chunk(BytesView payload);
+
+  const Options options_;
+  std::FILE* file_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable writer_cv_;
+  std::deque<Item> queue_;
+  std::size_t pending_bytes_ = 0;
+  bool closing_ = false;
+  bool finished_ = false;  // finish() already enqueued
+  std::exception_ptr writer_error_;
+  SpoolStats stats_;
+
+  std::thread writer_;
+};
+
+/// Streaming reader over recorded artifacts.  Opens either a DJVUSPL1
+/// spool file (items stream chunk by chunk; a torn tail is truncated to
+/// the last valid chunk — recover-to-prefix) or a DJVUTRC1 trace file
+/// (records stream as synthesized kTrace items; structure is validated
+/// per record, but the whole-file CRC is *not* checked — the price of
+/// early exit; use load_trace_from_file when integrity matters more than
+/// streaming).  At most one chunk / record batch is resident at a time.
+class LogSource {
+ public:
+  explicit LogSource(const std::string& path);
+  ~LogSource();
+  LogSource(const LogSource&) = delete;
+  LogSource& operator=(const LogSource&) = delete;
+
+  DjvmId vm_id() const { return vm_id_; }
+
+  /// True when the underlying file is a DJVUTRC1 trace file.
+  bool is_trace_file() const { return trace_backend_; }
+
+  /// The next item, or nullopt at end of stream.  Mid-stream corruption
+  /// that a chunk CRC certifies against (a writer bug, version skew) still
+  /// throws LogFormatError; a torn tail does not.
+  std::optional<SpoolItem> next();
+
+  /// After next() returned nullopt: true when the stream ended with a
+  /// finish item (spool) / all declared records (trace file); false when a
+  /// torn tail was dropped.
+  bool clean_end() const { return clean_end_; }
+
+  /// Bytes dropped from a torn tail (0 on a clean end).
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+ private:
+  std::optional<SpoolItem> next_spool_item();
+  std::optional<SpoolItem> next_trace_item();
+  /// Reads and verifies the next chunk into chunk_/chunk_pos_; false at
+  /// end of file or torn tail (sets truncated_bytes_).
+  bool read_chunk();
+  bool read_exact(std::uint8_t* out, std::size_t n);
+  std::uint64_t read_varint();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  DjvmId vm_id_ = 0;
+  bool trace_backend_ = false;
+  bool compressed_ = false;
+  bool done_ = false;
+  bool clean_end_ = false;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t file_size_ = 0;
+
+  // Spool backend: current decoded chunk payload.
+  Bytes chunk_;
+  std::size_t chunk_pos_ = 0;
+
+  // Trace backend: records not yet yielded.
+  std::uint64_t trace_remaining_ = 0;
+  GlobalCount trace_prev_gc_ = 0;
+};
+
+/// Pull adapter yielding individual trace records from a LogSource
+/// (decoding kTrace items, skipping other kinds).  Used by the streaming
+/// trace diff.
+class TraceRecordStream {
+ public:
+  explicit TraceRecordStream(LogSource& source) : source_(source) {}
+
+  /// The next trace record, or nullopt at end of stream.
+  std::optional<sched::TraceRecord> next();
+
+ private:
+  LogSource& source_;
+  std::vector<sched::TraceRecord> batch_;
+  std::size_t pos_ = 0;
+};
+
+/// Everything one spool file holds, folded back into in-memory structures
+/// (tests, offline inspection).  trace.records come out gc-sorted.
+struct SpoolContents {
+  VmLog log;
+  TraceFile trace;
+  bool clean_end = false;
+  std::uint64_t truncated_bytes = 0;
+};
+SpoolContents load_spool(const std::string& path);
+
+/// Streams just the replay-relevant items (schedule, network, finish) of a
+/// spool file into a VmLog, skipping trace bodies entirely — resident
+/// memory is O(schedule + network log), never O(trace) or O(file).  For a
+/// recovered prefix (torn tail, no finish item) the stats are
+/// reconstructed from the schedule: critical_events = the events the
+/// intervals encode (every critical event lands in exactly one interval),
+/// which is precisely what replaying the prefix will execute.  Sets
+/// *clean_end when non-null.
+VmLog load_spooled_log(const std::string& path, bool* clean_end = nullptr);
+
+}  // namespace djvu::record

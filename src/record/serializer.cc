@@ -20,7 +20,9 @@ enum : std::uint8_t {
   kHasData = 1u << 4,
 };
 
-void write_entry(ByteWriter& w, const NetworkLogEntry& e) {
+}  // namespace
+
+void write_network_entry(ByteWriter& w, const NetworkLogEntry& e) {
   w.varint(e.event_num);
   w.u8(static_cast<std::uint8_t>(e.kind));
   std::uint8_t flags = 0;
@@ -43,7 +45,7 @@ void write_entry(ByteWriter& w, const NetworkLogEntry& e) {
   if (flags & kHasData) w.bytes(*e.data);
 }
 
-NetworkLogEntry read_entry(ByteReader& r) {
+NetworkLogEntry read_network_entry(ByteReader& r) {
   NetworkLogEntry e;
   e.event_num = r.varint();
   e.kind = static_cast<sched::EventKind>(r.u8());
@@ -66,8 +68,6 @@ NetworkLogEntry read_entry(ByteReader& r) {
   if (flags & kHasData) e.data = r.bytes();
   return e;
 }
-
-}  // namespace
 
 Bytes serialize(const VmLog& log) {
   ByteWriter w;
@@ -96,7 +96,7 @@ Bytes serialize(const VmLog& log) {
     auto entries = log.network.thread_entries(t);
     w.varint(t);
     w.varint(entries.size());
-    for (const auto& e : entries) write_entry(w, e);
+    for (const auto& e : entries) write_network_entry(w, e);
   }
 
   std::uint32_t crc = crc32(w.view());
@@ -153,7 +153,7 @@ VmLog deserialize(BytesView data) {
     auto t = static_cast<ThreadNum>(r.varint());
     std::uint64_t n = r.varint();
     for (std::uint64_t j = 0; j < n; ++j) {
-      log.network.append(t, read_entry(r));
+      log.network.append(t, read_network_entry(r));
     }
   }
   if (!r.at_end()) {

@@ -40,6 +40,12 @@ void save_to_file(const VmLog& log, const std::string& path);
 /// Reads a binary VmLog from a file; throws Error / LogFormatError.
 VmLog load_from_file(const std::string& path);
 
+/// Encodes / decodes one network log entry (event_num, kind, flags, typed
+/// fields).  Shared by the bundle serializer and the streaming spool format
+/// (record/log_spool.h) so the two encodings never drift apart.
+void write_network_entry(ByteWriter& w, const NetworkLogEntry& e);
+NetworkLogEntry read_network_entry(ByteReader& r);
+
 /// Fixed framing around the payload of a serialized bundle: magic(8) +
 /// version(2) + vm_id(4) header plus the crc32(4) trailer.
 inline constexpr std::size_t kLogFramingBytes = 8 + 2 + 4 + 4;

@@ -1,0 +1,36 @@
+// Chunk-payload compression for the log spooler (record/log_spool.h).
+//
+// An LZ4-style byte-oriented scheme: a greedy single-pass matcher over a
+// small hash table emits runs of literals and back-references, no entropy
+// stage — compression and decompression are both a straight memcpy-speed
+// pass, which is what a background writer that must keep up with the record
+// hot path needs.  Token stream, after a varint raw-size header:
+//
+//   control byte c < 0x80  -> literal run: the next c+1 bytes are copied;
+//   control byte c >= 0x80 -> match: length (c & 0x7f) + 4, followed by a
+//                             varint back-distance (>= 1).
+//
+// Self-inverse framing: decompress(compress(x)) == x for all x.  Malformed
+// input (bad distance, overrun, size mismatch) throws LogFormatError —
+// corrupt chunks are rejected, never silently misdecoded (invariant I7).
+#pragma once
+
+#include "common/bytes.h"
+
+namespace djvu::record {
+
+/// Codec identifiers stored in each spool chunk header.
+enum class SpoolCodec : std::uint8_t {
+  kRaw = 0,
+  kLz = 1,
+};
+
+/// Compresses `raw` into the LZ token stream.  The result can be larger
+/// than the input on incompressible data; callers (the spooler) keep the
+/// raw payload when that happens.
+Bytes spool_compress(BytesView raw);
+
+/// Inverts spool_compress; throws LogFormatError on malformed input.
+Bytes spool_decompress(BytesView compressed);
+
+}  // namespace djvu::record

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <memory>
+#include <optional>
 
 #include "common/crc32.h"
 #include "common/strutil.h"
+#include "record/log_spool.h"
 
 namespace djvu::record {
 namespace {
@@ -136,6 +139,86 @@ TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
   };
   fill(a, out.context_a);
   fill(b, out.context_b);
+  return out;
+}
+
+TraceDiff diff_trace_files(const std::string& path_a,
+                           const std::string& path_b,
+                           std::size_t context_events) {
+  LogSource source_a(path_a);
+  LogSource source_b(path_b);
+  TraceRecordStream stream_a(source_a);
+  TraceRecordStream stream_b(source_b);
+
+  // A record stream must be gc-ordered for positional comparison to mean
+  // anything; enforce it as we go (a multi-threaded spool interleaves
+  // per-thread batches and fails here).
+  GlobalCount prev_a = 0, prev_b = 0;
+  auto pull = [](TraceRecordStream& s, GlobalCount& prev,
+                 const std::string& path) {
+    std::optional<sched::TraceRecord> r = s.next();
+    if (r) {
+      if (r->gc < prev) {
+        throw UsageError(path +
+                         ": trace records out of gc order — not streamable "
+                         "(load it with load_spool and use diff_traces)");
+      }
+      prev = r->gc;
+    }
+    return r;
+  };
+
+  TraceDiff out;
+  // Last `context_events` matched records (identical on both sides), for
+  // pre-divergence context.
+  std::deque<sched::TraceRecord> ring;
+  std::size_t pos = 0;
+  std::optional<sched::TraceRecord> a, b;
+  for (;; ++pos) {
+    a = pull(stream_a, prev_a, path_a);
+    b = pull(stream_b, prev_b, path_b);
+    if (a && b && *a == *b) {
+      ring.push_back(*a);
+      if (ring.size() > context_events) ring.pop_front();
+      continue;
+    }
+    if (!a && !b) {
+      out.identical = true;
+      out.description =
+          "traces identical (" + std::to_string(pos) + " events)";
+      return out;
+    }
+    break;  // divergence (or one side ended) at `pos`
+  }
+
+  out.position = pos;
+  if (a && b) {
+    out.description =
+        str_format("first divergence at event %zu:\n  A: %s\n  B: %s", pos,
+                   to_text(*a).c_str(), to_text(*b).c_str());
+  } else {
+    out.description = str_format(
+        "trace %s ended at event %zu while the other continues; common "
+        "prefix identical",
+        a ? "B" : "A", pos);
+  }
+  auto fill = [&](const std::optional<sched::TraceRecord>& at,
+                  TraceRecordStream& stream, GlobalCount& prev,
+                  const std::string& path, std::vector<std::string>& ctx) {
+    std::size_t i = pos - ring.size();
+    for (const sched::TraceRecord& r : ring) {
+      ctx.push_back(str_format(" [%zu] %s", i++, to_text(r).c_str()));
+    }
+    if (!at) return;
+    ctx.push_back(str_format(">[%zu] %s", pos, to_text(*at).c_str()));
+    for (std::size_t k = 0; k < context_events; ++k) {
+      std::optional<sched::TraceRecord> r = pull(stream, prev, path);
+      if (!r) break;
+      ctx.push_back(str_format(" [%zu] %s", pos + 1 + k, to_text(*r).c_str()));
+    }
+  };
+  fill(a, stream_a, prev_a, path_a, out.context_a);
+  fill(b, stream_b, prev_b, path_b, out.context_b);
   return out;
 }
 

@@ -55,6 +55,20 @@ struct TraceDiff {
 TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
                       std::size_t context_events = 3);
 
+/// Streaming diff of two on-disk traces (DJVUTRC1 trace files, or spool
+/// files whose trace stream is gc-ordered, e.g. single-threaded runs):
+/// reads both files in lockstep through record::LogSource and stops at the
+/// first divergence — resident memory is O(context_events) and a diff that
+/// diverges early never reads the rest of either file.  The early exit is
+/// also the tradeoff: whole-file CRCs are not verified (each spool chunk
+/// still is), and the length-mismatch description reports where one side
+/// ended, not total counts.  Throws UsageError when a stream yields records
+/// out of gc order (a multi-threaded spool — load it with load_spool and
+/// use diff_traces instead).
+TraceDiff diff_trace_files(const std::string& path_a,
+                           const std::string& path_b,
+                           std::size_t context_events = 3);
+
 /// One-line rendering of a trace record.
 std::string to_text(const sched::TraceRecord& r);
 

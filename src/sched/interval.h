@@ -61,6 +61,26 @@ class IntervalRecorder {
     last_ = gc;
   }
 
+  /// Moves out the intervals already closed PLUS the completed prefix of
+  /// any open interval (which restarts at the thread's next event) — the
+  /// streaming-spool drain.  Splitting the open interval is safe: two
+  /// adjacent intervals for the same thread yield the identical event
+  /// sequence from an IntervalCursor, and it guarantees the drain always
+  /// ships the thread's full history so far — crash recovery gets a prefix
+  /// proportional to the bytes on disk, not to interleaving luck.  Without
+  /// the split, a thread running long uninterrupted bursts (e.g. under
+  /// record sharding) would hold its whole schedule in memory until exit.
+  /// finish() later returns whatever accumulated after the drain.
+  IntervalList drain_closed() {
+    IntervalList out = std::move(intervals_);
+    intervals_.clear();
+    if (open_) {
+      out.push_back({first_, last_});
+      open_ = false;
+    }
+    return out;
+  }
+
   /// Closes any open interval (thread exit) and returns the complete list.
   IntervalList finish() {
     if (open_) {

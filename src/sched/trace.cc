@@ -25,16 +25,13 @@ std::vector<TraceRecord> ExecutionTrace::sorted() const {
   return sorted_locked();
 }
 
-std::uint64_t ExecutionTrace::digest() const {
+std::uint64_t trace_digest(const std::vector<TraceRecord>& sorted_records) {
   ByteWriter w;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const TraceRecord& r : sorted_locked()) {
-      w.u64(r.gc)
-          .u32(r.thread)
-          .u8(static_cast<std::uint8_t>(r.kind))
-          .u64(r.aux);
-    }
+  for (const TraceRecord& r : sorted_records) {
+    w.u64(r.gc)
+        .u32(r.thread)
+        .u8(static_cast<std::uint8_t>(r.kind))
+        .u64(r.aux);
   }
   Bytes buf = w.take();
   // Two CRCs over different slicings give a 64-bit digest.
@@ -42,6 +39,11 @@ std::uint64_t ExecutionTrace::digest() const {
   Crc32 hi;
   hi.update(BytesView(buf).subspan(buf.size() / 2));
   return (std::uint64_t{hi.value()} << 32) | lo;
+}
+
+std::uint64_t ExecutionTrace::digest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_digest(sorted_locked());
 }
 
 std::string ExecutionTrace::first_divergence(const ExecutionTrace& recorded,

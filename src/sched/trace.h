@@ -33,6 +33,13 @@ struct TraceRecord {
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
+/// Order-insensitive-input, order-significant-output digest of a trace:
+/// CRC64 (two CRC32 slicings) over the serialized records, which must
+/// already be gc-sorted.  The free-function form exists so spooled runs —
+/// whose records come off disk, not out of an ExecutionTrace — produce
+/// digests comparable with ExecutionTrace::digest().
+std::uint64_t trace_digest(const std::vector<TraceRecord>& sorted_records);
+
 /// Thread-safe append-only trace with a cached sorted view.
 class ExecutionTrace {
  public:

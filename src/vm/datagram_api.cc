@@ -45,14 +45,14 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.kind = EventKind::kUdpCreate;
       e.event_num = en;
       e.value = local_.port;  // recorded port, rebound during replay
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpCreate, local_.port, this);
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
       e.kind = EventKind::kUdpCreate;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpCreate,
                      static_cast<std::uint64_t>(err.code()), this);
       throw SocketException(err.code(),
@@ -177,7 +177,7 @@ void DatagramSocket::send(const DatagramPacket& packet) {
       e.kind = EventKind::kUdpSend;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       throw SocketException(err.code(), "udp send");
     }
     return;
@@ -288,7 +288,7 @@ DatagramPacket DatagramSocket::receive() {
       } else {
         e.data = got.payload;  // open-world content
       }
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpReceive, crc_aux(got.payload), this);
       return {std::move(got.payload), got.source};
     } catch (const net::NetError& err) {
@@ -296,7 +296,7 @@ DatagramPacket DatagramSocket::receive() {
       e.kind = EventKind::kUdpReceive;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kUdpReceive,
                      static_cast<std::uint64_t>(err.code()), this);
       if (err.code() == NetErrorCode::kTimedOut) {

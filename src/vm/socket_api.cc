@@ -110,7 +110,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
         e.kind = EventKind::kSockConnect;
         e.event_num = en;
         e.value = 1;
-        vm_.network_log().append(st.num, std::move(e));
+        vm_.log_network_entry(st.num, std::move(e));
       }
       vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id), this);
     } catch (const net::NetError& err) {
@@ -118,7 +118,7 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
       e.kind = EventKind::kSockConnect;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockConnect,
                      static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "connect to " + to_string(remote_));
@@ -251,7 +251,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
       e.event_num = en;
       e.value = n;
       if (!peer_is_djvm_) e.data = Bytes(out, out + n);  // open-world content
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockRead, crc_aux({out, n}), this);
       return n;
     } catch (const net::NetError& err) {
@@ -259,7 +259,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
       e.kind = EventKind::kSockRead;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockRead,
                      static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "read");
@@ -336,7 +336,7 @@ std::size_t Socket::do_available() {
     e.kind = EventKind::kSockAvailable;
     e.event_num = en;
     e.value = n;
-    vm_.network_log().append(st.num, std::move(e));
+    vm_.log_network_entry(st.num, std::move(e));
     vm_.mark_event(EventKind::kSockAvailable, n, this);
     return n;
   }
@@ -394,7 +394,7 @@ void Socket::do_write(BytesView data) {
       e.kind = EventKind::kSockWrite;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       rethrow_as_socket_exception(err, "write");
     }
     return;
@@ -471,14 +471,14 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
       e.kind = EventKind::kSockBind;
       e.event_num = en;
       e.value = port_;  // "the DJVM records its return value" (the port)
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockBind, port_, this);
     } catch (const net::NetError& err) {
       record::NetworkLogEntry e;
       e.kind = EventKind::kSockBind;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockBind,
                      static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "bind port " + std::to_string(port));
@@ -590,7 +590,7 @@ std::unique_ptr<Socket> ServerSocket::accept() {
         } else {
           e.value = encode_addr(conn->remote_address());  // open-world peer
         }
-        vm_.network_log().append(st.num, std::move(e));
+        vm_.log_network_entry(st.num, std::move(e));
       }
       vm_.mark_event(EventKind::kSockAccept,
                      peer_djvm ? conn_id_aux(client_id) : 0, this);
@@ -601,7 +601,7 @@ std::unique_ptr<Socket> ServerSocket::accept() {
       e.kind = EventKind::kSockAccept;
       e.event_num = en;
       e.error = err.code();
-      vm_.network_log().append(st.num, std::move(e));
+      vm_.log_network_entry(st.num, std::move(e));
       vm_.mark_event(EventKind::kSockAccept,
                      static_cast<std::uint64_t>(err.code()), this);
       rethrow_as_socket_exception(err, "accept");

@@ -45,7 +45,7 @@ std::uint64_t recorded_query(Vm& vm, std::uint64_t (*query)()) {
     e.kind = EventKind::kTimeRead;
     e.event_num = en;
     e.value = value;
-    vm.network_log().append(st.num, std::move(e));
+    vm.log_network_entry(st.num, std::move(e));
     return value;
   }
 

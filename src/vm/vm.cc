@@ -1,9 +1,11 @@
 #include "vm/vm.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -28,9 +30,9 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
       // Only the record phase ever enters GC-critical sections; replay's
       // turn-waiting is layout-independent, so it always gets the plain
       // counter.
-      counter_(config_.stall_timeout,
-               config_.mode == Mode::kRecord && config_.record_sharding
-                   ? config_.record_stripes
+      counter_(config_.tuning.stall_timeout,
+               config_.mode == Mode::kRecord && config_.tuning.record_sharding
+                   ? config_.tuning.record_stripes
                    : 0) {
   if ((config_.mode == Mode::kReplay) != (replay_log_ != nullptr)) {
     throw UsageError("replay log must be supplied exactly in replay mode");
@@ -41,18 +43,32 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
                      std::to_string(replay_log_->vm_id) + ", not vm " +
                      std::to_string(config_.vm_id));
   }
+  if (config_.mode == Mode::kRecord && !config_.spool_path.empty()) {
+    record::LogSpooler::Options opts;
+    opts.path = config_.spool_path;
+    opts.buffer_bytes = config_.tuning.spool_buffer_bytes;
+    opts.chunk_bytes = config_.tuning.spool_chunk_bytes;
+    opts.compress = config_.tuning.spool_compress;
+    spooler_ = std::make_unique<record::LogSpooler>(config_.vm_id,
+                                                    std::move(opts));
+    // Flush each thread every ~chunk-bytes'-worth of events (a trace record
+    // encodes in ~12 bytes, intervals far less), so one batch roughly fills
+    // a chunk and per-thread resident state stays O(chunk).
+    spool_flush_events_ = std::max<GlobalCount>(
+        64, config_.tuning.spool_chunk_bytes / 16);
+  }
 }
 
 Vm::~Vm() = default;
 
 void Vm::maybe_chaos() {
-  if (config_.chaos_prob <= 0.0) return;
+  if (config_.tuning.chaos_prob <= 0.0) return;
   bool yield_now = false;
   bool sleep_now = false;
   {
     std::lock_guard<std::mutex> lock(chaos_mutex_);
     if (!chaos_rng_) chaos_rng_ = std::make_unique<Xoshiro256>(config_.chaos_seed);
-    if (chaos_rng_->chance(config_.chaos_prob)) {
+    if (chaos_rng_->chance(config_.tuning.chaos_prob)) {
       yield_now = true;
       sleep_now = chaos_rng_->chance(0.25);
     }
@@ -157,8 +173,33 @@ void Vm::resume_replay(GlobalCount checkpoint_gc,
 
 void Vm::flush_trace(sched::ThreadState& state) {
   if (state.trace_buf.empty()) return;
-  trace_.append_batch(state.trace_buf);
-  state.trace_buf.clear();
+  if (spooler_ != nullptr) {
+    // Spooling: the trace streams to disk; trace_ stays empty and the run's
+    // digest is computed from the spool file (load_spool sorts by gc).
+    // Moving the buffer hands serialization to the spooler's writer thread;
+    // re-reserving spares the producer the log-n regrowth next cycle.
+    const std::size_t batch_size = state.trace_buf.size();
+    spooler_->trace_batch(std::move(state.trace_buf));
+    state.trace_buf.clear();
+    state.trace_buf.reserve(batch_size);
+  } else {
+    trace_.append_batch(state.trace_buf);
+    state.trace_buf.clear();
+  }
+}
+
+void Vm::maybe_spool_flush(sched::ThreadState& state) {
+  sched::IntervalList closed = state.recorder.drain_closed();
+  if (!closed.empty()) spooler_->schedule_batch(state.num, closed);
+  flush_trace(state);
+}
+
+void Vm::log_network_entry(ThreadNum thread, record::NetworkLogEntry entry) {
+  if (spooler_ != nullptr) {
+    spooler_->network_entry(thread, entry);
+    return;
+  }
+  network_log_.append(thread, std::move(entry));
 }
 
 void Vm::flush_all_traces() {
@@ -179,10 +220,26 @@ record::VmLog Vm::finish_record() {
   flush_all_traces();
   record::VmLog log;
   log.vm_id = config_.vm_id;
-  log.schedule.per_thread = registry_.collect_intervals();
-  log.network = std::move(network_log_);
   log.stats.critical_events = counter_.value();
   log.stats.network_events = nw_events_.load(std::memory_order_relaxed);
+  if (spooler_ != nullptr) {
+    // Ship each thread's remaining intervals (everything not drained by
+    // periodic flushes, including the final open interval), then seal the
+    // recording with the finish marker and surface any writer error.  The
+    // returned VmLog is a husk — identity and stats only; the data lives in
+    // the spool file.
+    const std::vector<sched::IntervalList> per_thread =
+        registry_.collect_intervals();
+    for (ThreadNum t = 0; t < per_thread.size(); ++t) {
+      if (!per_thread[t].empty()) spooler_->schedule_batch(t, per_thread[t]);
+    }
+    spooler_->finish(log.stats,
+                     static_cast<std::uint32_t>(registry_.size()));
+    spooler_->close();
+    return log;
+  }
+  log.schedule.per_thread = registry_.collect_intervals();
+  log.network = std::move(network_log_);
   return log;
 }
 
@@ -231,6 +288,12 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
     // on explicit trace() access) — no cross-thread lock per event.
     state.trace_buf.push_back({gc, state.num, kind, aux});
   }
+  if (spooler_ != nullptr &&
+      state.recorder.local_count() % spool_flush_events_ == 0) {
+    // Periodic per-thread drain: closed intervals + trace buffer go to the
+    // spooler, so resident log state stays bounded however long the run.
+    maybe_spool_flush(state);
+  }
   if (observer_) {
     observer_(sched::TraceRecord{gc, state.num, kind, aux});
   }
@@ -240,7 +303,7 @@ GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable) {
   // peek() is the divergence check: a thread attempting an event beyond its
   // recorded schedule throws here, before any waiting, in both modes.
   const GlobalCount g = state.cursor.peek();
-  if (!config_.replay_leasing) {
+  if (!config_.tuning.replay_leasing) {
     counter_.await(g);
     return g;
   }
@@ -258,7 +321,7 @@ GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable) {
     counter_.lease_begin(g, last);
     state.lease_active = true;
     state.lease_end = last;
-    state.lease_next_publish = g + config_.lease_publish_stride;
+    state.lease_next_publish = g + config_.tuning.lease_publish_stride;
   }
   return g;
 }
@@ -273,7 +336,7 @@ void Vm::replay_turn_done(sched::ThreadState& state, GlobalCount g) {
       // seeing a frozen counter across a long interval.  Under-reporting
       // between strides is safe: no waiter's turn lies inside the lease.
       counter_.lease_publish(g + 1);
-      state.lease_next_publish = g + 1 + config_.lease_publish_stride;
+      state.lease_next_publish = g + 1 + config_.tuning.lease_publish_stride;
     }
     state.cursor.advance();
     return;

@@ -34,7 +34,9 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/tuning.h"
 #include "net/network.h"
+#include "record/log_spool.h"
 #include "record/vm_log.h"
 #include "sched/global_counter.h"
 #include "sched/thread_registry.h"
@@ -50,6 +52,48 @@ enum class Mode {
 };
 
 /// Static configuration of one Vm.
+///
+/// Semantics of the shared tuning knobs (djvu::TuningConfig — the
+/// authoritative field list lives there; these are the VM-side contracts):
+///
+///   * record_sharding / record_stripes — record-mode section layout.
+///     true = sharded GC-critical sections: a `record_stripes`-way lock
+///     table keyed by each event's conflict object, with the counter value
+///     assigned by an atomic fetch_add while the object's stripe is held —
+///     events on independent objects record in parallel.  false = the
+///     paper's single global section (the ablation baseline for
+///     EXPERIMENTS.md).  Replay is unaffected either way: the log format
+///     and the replayed total order are identical, so a recording made in
+///     either layout replays under any setting.
+///   * replay_leasing — true = a thread whose next event opens a logical
+///     schedule interval performs ONE await for the whole interval,
+///     executes the interval's events with thread-local counter
+///     bookkeeping (no atomics, no mutex, no wakeups), and publishes the
+///     interval with a single counter jump at its end — ~(#intervals +
+///     #events/stride) atomic publications instead of #events.  false =
+///     the paper-faithful per-event await/tick protocol (the ablation
+///     baseline).  The replayed schedule, trace, and divergence detection
+///     are identical in both modes.
+///   * lease_publish_stride — events between intra-lease counter
+///     publications: a long interval publishes progress every this-many
+///     events so value() observers (stall detector, checkpoint snapshots,
+///     SchedStats) never see a frozen counter.
+///   * stall_timeout — replay stall detector window: a turn-wait that sees
+///     no counter progress for this long — while every bound thread is
+///     itself parked on a turn, so progress is impossible — aborts with
+///     ReplayDivergenceError (a mismatched log can otherwise deadlock the
+///     whole VM).  While some thread is off doing real work, waiters hold
+///     off for up to sched::GlobalCounter::kStallGraceFactor windows.
+///     The counter is constructed with it, so no await() call site can
+///     fall back to a hardcoded default.  Tests shrink it.
+///   * chaos_prob — schedule fuzzing ("chaos mode", cf. rr): during
+///     record, each critical event yields the CPU with this probability
+///     (and occasionally sleeps a few microseconds), forcing interleavings
+///     a quiet single-core scheduler would rarely produce.  Replay ignores
+///     chaos entirely — the recorded schedule already pins the
+///     interleaving.  0 disables.
+///   * spool_* — the streaming log spooler (record/log_spool.h); the VM
+///     consumes them only when `spool_path` below is set.
 struct VmConfig {
   /// DJVM identity: assigned before record, logged, and reused in replay.
   DjvmId vm_id = 0;
@@ -68,60 +112,18 @@ struct VmConfig {
   /// measurements (tracing is not part of the paper's record cost).
   bool keep_trace = true;
 
-  /// Record-mode section layout.  true = sharded GC-critical sections: a
-  /// `record_stripes`-way lock table keyed by each event's conflict object,
-  /// with the counter value assigned by an atomic fetch_add while the
-  /// object's stripe is held — events on independent objects record in
-  /// parallel.  false = the paper's single global section (the ablation
-  /// baseline for EXPERIMENTS.md).  Replay is unaffected either way: the
-  /// log format and the replayed total order are identical, so a recording
-  /// made in either layout replays under any setting.
-  bool record_sharding = true;
+  /// Shared performance/behaviour knobs (one struct for SessionConfig and
+  /// VmConfig; see the contract list above).
+  TuningConfig tuning;
 
-  /// Stripes in the sharded lock table (record_sharding only).  More
-  /// stripes = fewer hash collisions between independent objects, at ~64
-  /// bytes each.
-  std::size_t record_stripes = 64;
+  /// Derived, not user tuning: when non-empty and mode == kRecord, the VM
+  /// streams its log to this spool file through a record::LogSpooler
+  /// (sized by tuning.spool_*) instead of accumulating a VmLog in memory.
+  /// core/session.cc computes it from tuning.spool_dir + the VM name.
+  std::string spool_path;
 
-  /// Replay-mode interval leasing.  true = a thread whose next event opens
-  /// a logical schedule interval performs ONE await for the whole interval,
-  /// executes the interval's events with thread-local counter bookkeeping
-  /// (no atomics, no mutex, no wakeups), and publishes the interval with a
-  /// single counter jump at its end — ~(#intervals + #events/stride)
-  /// atomic publications instead of #events.  false = the paper-faithful
-  /// per-event await/tick protocol (the ablation baseline for
-  /// EXPERIMENTS.md, mirroring record_sharding).  The replayed schedule,
-  /// trace, and divergence detection are identical in both modes.
-  bool replay_leasing = true;
-
-  /// Events between intra-lease counter publications (replay_leasing
-  /// only).  A long interval publishes progress every this-many events so
-  /// value() observers — the stall detector, checkpoint snapshots,
-  /// SchedStats — never see a frozen counter; smaller strides trade a few
-  /// atomics for fresher observation.
-  GlobalCount lease_publish_stride = 1024;
-
-  /// Replay stall detector window: a turn-wait that sees no counter
-  /// progress for this long — while every bound thread is itself parked on
-  /// a turn, so progress is impossible — aborts with
-  /// ReplayDivergenceError (a mismatched log can otherwise deadlock the
-  /// whole VM).  While some thread is off doing real work (e.g. a slow
-  /// recorded read keeps the counter unchanged), waiters hold off for up to
-  /// sched::GlobalCounter::kStallGraceFactor windows before giving up.
-  /// This is the single knob for the whole VM: the counter is constructed
-  /// with it, so no await() call site can fall back to a hardcoded
-  /// default.  Tests shrink it.
-  std::chrono::milliseconds stall_timeout{10000};
-
-  /// Schedule fuzzing ("chaos mode", cf. rr): during record, each critical
-  /// event yields the CPU with probability `chaos_prob` (and occasionally
-  /// sleeps a few microseconds), forcing interleavings a quiet single-core
-  /// scheduler would rarely produce.  Replay ignores chaos entirely — the
-  /// recorded schedule already pins the interleaving — so a chaotic
-  /// recording replays exactly like any other.  0 disables.
-  double chaos_prob = 0.0;
-
-  /// Seed for the chaos generator (per-VM stream).
+  /// Derived, not user tuning: seed for the chaos generator (per-VM
+  /// stream; the session derives it from the network seed and the VM id).
   std::uint64_t chaos_seed = 1;
 };
 
@@ -221,8 +223,28 @@ class Vm {
   /// Replay-side log access (nullptr outside replay).
   const record::VmLog* replay_log() const { return replay_log_.get(); }
 
-  /// Record-side network log (append target).
+  /// Record-side network log (append target).  Socket/system APIs must not
+  /// append here directly — they go through log_network_entry() so spooled
+  /// runs stream the entry to disk instead of accumulating it.
   record::NetworkLog& network_log() { return network_log_; }
+
+  /// Records one network event outcome: appended to the in-memory network
+  /// log, or streamed to the spool file when spooling.  Record mode only.
+  void log_network_entry(ThreadNum thread, record::NetworkLogEntry entry);
+
+  /// True when this record-mode Vm streams its log to a spool file instead
+  /// of accumulating it in memory (VmConfig::spool_path set).
+  bool spooling() const { return spooler_ != nullptr; }
+
+  /// Spool file path ("" when not spooling).
+  const std::string& spool_path() const { return config_.spool_path; }
+
+  /// Spooler self-measurements (zeroes when not spooling).  The
+  /// queue_high_water_bytes field is the bounded-memory witness asserted by
+  /// tests/log_spool_test.cc.
+  record::SpoolStats spool_stats() const {
+    return spooler_ ? spooler_->stats() : record::SpoolStats{};
+  }
 
   /// Observer invoked after every critical event (any mode), with the
   /// event's trace record.  The hook behind the replay debugger
@@ -324,13 +346,20 @@ class Vm {
   void after_event(sched::ThreadState& state, sched::EventKind kind,
                    std::uint64_t aux, GlobalCount gc);
 
-  /// Merges one thread's buffered trace records into trace_.  Called by the
-  /// owning thread (thread end, detach, trace()) or at end of phase when
-  /// all threads have quiesced.
+  /// Merges one thread's buffered trace records into trace_ — or, when
+  /// spooling, streams the buffer to the spool file as a kTrace item.
+  /// Called by the owning thread (thread end, detach, trace()) or at end of
+  /// phase when all threads have quiesced.
   void flush_trace(sched::ThreadState& state);
 
   /// Merges every thread's buffer (end of phase; all threads finished).
   void flush_all_traces();
+
+  /// Spooling record mode: called by the owning thread after each of its
+  /// critical events; every spool_flush_events_ events it ships the
+  /// thread's closed intervals and trace buffer to the spooler, keeping
+  /// per-thread resident log state O(batch) instead of O(run length).
+  void maybe_spool_flush(sched::ThreadState& state);
 
   std::shared_ptr<net::Network> network_;
   VmConfig config_;
@@ -344,6 +373,12 @@ class Vm {
   record::NetworkLog network_log_;
   std::atomic<std::uint64_t> nw_events_{0};
   EventObserver observer_;
+
+  /// Streaming spooler (record mode with VmConfig::spool_path; else null).
+  std::unique_ptr<record::LogSpooler> spooler_;
+  /// Events between per-thread spool flushes (derived from
+  /// tuning.spool_chunk_bytes so one flush roughly fills a chunk).
+  GlobalCount spool_flush_events_ = 0;
 };
 
 }  // namespace djvu::vm

@@ -18,7 +18,7 @@ using core::Session;
 
 Session counter_app(std::uint64_t* out) {
   core::SessionConfig cfg;
-  cfg.stall_timeout = std::chrono::milliseconds(400);  // fast deadlock tests
+  cfg.tuning.stall_timeout = std::chrono::milliseconds(400);  // fast deadlock tests
   Session s(cfg);
   s.add_vm("app", 1, true, [out](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);
@@ -73,7 +73,7 @@ TEST(Divergence, WrongAppMoreThreadsDetected) {
   auto logs = logs_of(rec);
   // Replay a DIFFERENT application (4 threads instead of 3).
   core::SessionConfig ocfg;
-  ocfg.stall_timeout = std::chrono::milliseconds(400);
+  ocfg.tuning.stall_timeout = std::chrono::milliseconds(400);
   Session other(ocfg);
   other.add_vm("app", 1, true, [](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);
@@ -93,7 +93,7 @@ TEST(Divergence, WrongAppFewerEventsDetected) {
   auto rec = s.record(7);
   auto logs = logs_of(rec);
   core::SessionConfig ocfg;
-  ocfg.stall_timeout = std::chrono::milliseconds(400);
+  ocfg.tuning.stall_timeout = std::chrono::milliseconds(400);
   Session other(ocfg);
   other.add_vm("app", 1, true, [](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);
@@ -116,7 +116,7 @@ TEST(Divergence, MissingVmLogRejected) {
 
 TEST(Divergence, ReadEntryTamperDetected) {
   core::SessionConfig cfg;
-  cfg.stall_timeout = std::chrono::milliseconds(600);
+  cfg.tuning.stall_timeout = std::chrono::milliseconds(600);
   Session s(cfg);
   s.add_vm("server", 1, true, [](vm::Vm& v) {
     vm::ServerSocket listener(v, 5000);
@@ -162,7 +162,7 @@ TEST(Divergence, VerifyCatchesCrossRunMismatch) {
   auto rec_a = sa.record(100);
 
   core::SessionConfig cfg;
-  cfg.stall_timeout = std::chrono::milliseconds(400);
+  cfg.tuning.stall_timeout = std::chrono::milliseconds(400);
   Session sb(cfg);
   sb.add_vm("app", 1, true, [](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);

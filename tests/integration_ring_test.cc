@@ -151,7 +151,7 @@ TEST(Ring, ManyClientsOneServerReplays) {
   SessionConfig cfg;
   cfg.net.connect_delay = {std::chrono::microseconds(0),
                            std::chrono::microseconds(300)};
-  cfg.chaos_prob = 0.05;
+  cfg.tuning.chaos_prob = 0.05;
   Session s(cfg);
 
   s.add_vm("server", 1, true, [&](vm::Vm& v) {

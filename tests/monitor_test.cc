@@ -18,7 +18,7 @@ using core::SessionConfig;
 
 TEST(MonitorDeep, HighContentionStressReplays) {
   SessionConfig cfg;
-  cfg.chaos_prob = 0.05;
+  cfg.tuning.chaos_prob = 0.05;
   Session s(cfg);
   s.add_vm("app", 1, true, [](vm::Vm& v) {
     vm::Monitor m(v);

@@ -162,7 +162,7 @@ class ChaosWorldSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ChaosWorldSweep, MixedWorldChaoticReplay) {
   SessionConfig cfg;
   cfg.net.seed = GetParam();
-  cfg.chaos_prob = 0.08;
+  cfg.tuning.chaos_prob = 0.08;
   cfg.net.connect_delay = {std::chrono::microseconds(0),
                            std::chrono::microseconds(300)};
   Session s(cfg);

@@ -93,7 +93,7 @@ void client_main(vm::Vm& v) {
 
 void run_stress(bool sharding, std::uint64_t seed) {
   core::SessionConfig cfg;
-  cfg.record_sharding = sharding;
+  cfg.tuning.record_sharding = sharding;
   core::Session s(cfg);
   s.add_vm("server", 1, true, server_main);
   s.add_vm("client", 2, true, client_main);
@@ -132,7 +132,7 @@ TEST(RecordSharding, ConcurrentRecordReplayEquivalenceSingleSection) {
 // repeated replays agree with each other.
 TEST(RecordSharding, ShardedRecordingReplaysRepeatedly) {
   core::SessionConfig cfg;
-  cfg.record_sharding = true;
+  cfg.tuning.record_sharding = true;
   core::Session s(cfg);
   s.add_vm("server", 1, true, server_main);
   s.add_vm("client", 2, true, client_main);

@@ -18,7 +18,7 @@ std::atomic<std::uint64_t> g_last_final{0};
 
 Session racy_session(int threads, int iters, double chaos) {
   SessionConfig cfg;
-  cfg.chaos_prob = chaos;
+  cfg.tuning.chaos_prob = chaos;
   Session s(cfg);
   s.add_vm("app", 1, true, [threads, iters](vm::Vm& v) {
     vm::SharedVar<std::uint64_t> x(v, 0);

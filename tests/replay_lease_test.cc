@@ -91,8 +91,8 @@ void client_main(vm::Vm& v) {
 core::Session make_stress(bool leasing,
                           std::uint64_t stride = 1024) {
   core::SessionConfig cfg;
-  cfg.replay_leasing = leasing;
-  cfg.lease_publish_stride = stride;
+  cfg.tuning.replay_leasing = leasing;
+  cfg.tuning.lease_publish_stride = stride;
   core::Session s(cfg);
   s.add_vm("server", 1, true, server_main);
   s.add_vm("client", 2, true, client_main);
@@ -142,8 +142,8 @@ TEST(ReplayLease, LongIntervalStridePublishes) {
   constexpr std::uint64_t kStride = 64;
   auto build = [] {
     core::SessionConfig cfg;
-    cfg.replay_leasing = true;
-    cfg.lease_publish_stride = kStride;
+    cfg.tuning.replay_leasing = true;
+    cfg.tuning.lease_publish_stride = kStride;
     core::Session s(cfg);
     s.add_vm("app", 1, true, [](vm::Vm& v) {
       vm::SharedVar<std::uint64_t> x(v, 0);
@@ -182,8 +182,8 @@ TEST(ReplayLease, LongIntervalStridePublishes) {
 TEST(ReplayLease, ExtraEventMidLeaseDiverges) {
   auto build = [](int iters) {
     core::SessionConfig cfg;
-    cfg.replay_leasing = true;
-    cfg.stall_timeout = std::chrono::milliseconds(400);
+    cfg.tuning.replay_leasing = true;
+    cfg.tuning.stall_timeout = std::chrono::milliseconds(400);
     core::Session s(cfg);
     s.add_vm("app", 1, true, [iters](vm::Vm& v) {
       vm::SharedVar<std::uint64_t> x(v, 0);

@@ -135,7 +135,7 @@ TEST(SoTimeout, TimeoutThenDataOnSameSocket) {
 TEST(Chaos, IncreasesScheduleDiversityAndStillReplays) {
   auto run_digest = [](double chaos, std::uint64_t seed) {
     SessionConfig cfg;
-    cfg.chaos_prob = chaos;
+    cfg.tuning.chaos_prob = chaos;
     Session s(cfg);
     s.add_vm("app", 1, true, [](vm::Vm& v) {
       vm::SharedVar<std::uint64_t> x(v, 0);
@@ -163,7 +163,7 @@ TEST(Chaos, IncreasesScheduleDiversityAndStillReplays) {
 
 TEST(Chaos, DistributedChaoticRunReplays) {
   SessionConfig cfg;
-  cfg.chaos_prob = 0.05;
+  cfg.tuning.chaos_prob = 0.05;
   cfg.net.connect_delay = {std::chrono::microseconds(0),
                            std::chrono::microseconds(200)};
   Session s(cfg);
