@@ -29,13 +29,49 @@ class LogFormatError : public Error {
   explicit LogFormatError(const std::string& what) : Error(what) {}
 };
 
+/// Why a replay diverged — the machine-readable classification every
+/// ReplayDivergenceError throw site tags itself with.  The sched layer's
+/// DivergenceReport (sched/divergence.h) carries it onward; keeping the
+/// enum here lets the throw sites in sched/ and vm/ classify without a
+/// layering cycle.
+///
+/// The first group are *affirmative* divergences: the throwing thread
+/// itself did something incompatible with the recording.  kStall and
+/// kPoisoned are *waiting victims*: the thread was parked on a turn that
+/// never came (possibly because some other thread diverged first), so its
+/// report identifies the earliest missing turn, not necessarily the
+/// culprit.
+enum class DivergenceCause : std::uint8_t {
+  kUnknown = 0,
+  kBeyondSchedule = 1,    ///< thread attempted more events than recorded
+  kCounterPassed = 2,     ///< the thread's turn was already passed
+  kNetworkMismatch = 3,   ///< network outcome irreconcilable with the log
+  kIncompleteReplay = 4,  ///< run ended with recorded events unconsumed
+  kTraceMismatch = 5,     ///< record/replay traces differ (core::verify)
+  kStall = 6,             ///< no progress possible; earliest missing turn
+  kPoisoned = 7,          ///< unwound because another thread diverged
+};
+
+/// Short stable name for a DivergenceCause ("beyond-schedule", "stall", ...).
+const char* divergence_cause_name(DivergenceCause cause);
+
 /// Replay observed behaviour incompatible with the recorded execution, e.g.
 /// a thread executed more critical events than were recorded, a stream
 /// delivered EOF before the recorded byte count, or a datagram id arrived
 /// that cannot be reconciled with the RecordedDatagramLog.
 class ReplayDivergenceError : public Error {
  public:
-  explicit ReplayDivergenceError(const std::string& what) : Error(what) {}
+  explicit ReplayDivergenceError(
+      const std::string& what,
+      DivergenceCause cause = DivergenceCause::kUnknown)
+      : Error(what), cause_(cause) {}
+
+  /// Machine-readable classification of the divergence (kUnknown when the
+  /// throw site predates the forensics layer or genuinely cannot tell).
+  DivergenceCause cause() const { return cause_; }
+
+ private:
+  DivergenceCause cause_;
 };
 
 /// API misuse by the embedding application (e.g. calling a Vm API from a

@@ -105,4 +105,18 @@ const char* net_error_name(NetErrorCode code) {
   return "?";
 }
 
+const char* divergence_cause_name(DivergenceCause cause) {
+  switch (cause) {
+    case DivergenceCause::kUnknown: return "unknown";
+    case DivergenceCause::kBeyondSchedule: return "beyond-schedule";
+    case DivergenceCause::kCounterPassed: return "counter-passed";
+    case DivergenceCause::kNetworkMismatch: return "network-mismatch";
+    case DivergenceCause::kIncompleteReplay: return "incomplete-replay";
+    case DivergenceCause::kTraceMismatch: return "trace-mismatch";
+    case DivergenceCause::kStall: return "stall";
+    case DivergenceCause::kPoisoned: return "poisoned";
+  }
+  return "?";
+}
+
 }  // namespace djvu

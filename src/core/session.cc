@@ -1,17 +1,52 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <set>
 #include <thread>
 
 #include "common/log.h"
+#include "record/chrome_trace.h"
 #include "record/log_spool.h"
 #include "record/serializer.h"
 #include "record/trace_io.h"
+#include "sched/divergence.h"
 #include "vm/thread.h"
 
 namespace djvu::core {
+namespace {
+
+/// Renders the session-level divergence message: the selected report's
+/// detail first (callers grep for it), then the blame coordinates.
+std::string divergence_message(const sched::DivergenceReport& r) {
+  std::string who = r.vm_name.empty() ? std::to_string(r.vm_id)
+                                      : (r.vm_name + " (id " +
+                                         std::to_string(r.vm_id) + ")");
+  return r.detail + " [vm " + who + ", thread " + std::to_string(r.thread) +
+         ", cause " + divergence_cause_name(r.cause) + ", at gc " +
+         std::to_string(r.divergence_gc()) + "]";
+}
+
+/// Sorts reports into blame order and throws the first as a
+/// ReportedDivergenceError carrying the whole set.  Precondition:
+/// `reports` is non-empty.
+[[noreturn]] void throw_blamed(std::vector<sched::DivergenceReport> reports) {
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const sched::DivergenceReport& a,
+                      const sched::DivergenceReport& b) {
+                     return sched::precedes(a, b);
+                   });
+  sched::DivergenceReport best = reports.front();
+  // Build the message before the throw expression: argument evaluation
+  // order is unspecified, so a std::move(best) in the same call could gut
+  // the report's strings before divergence_message reads them.
+  std::string msg = divergence_message(best);
+  throw sched::ReportedDivergenceError(std::move(msg), std::move(best),
+                                       std::move(reports));
+}
+
+}  // namespace
 
 const VmRunInfo& RunResult::vm(const std::string& name) const {
   for (const auto& info : vms) {
@@ -239,13 +274,65 @@ RunResult Session::run_impl(vm::Mode djvm_mode,
   for (auto& r : running) r.thread.join();
   const auto stop = std::chrono::steady_clock::now();
 
-  for (auto& r : running) {
-    if (r.error) std::rethrow_exception(r.error);
+  // Deterministic failure selection instead of first-exception-wins:
+  // non-divergence errors (usage/setup problems) still win in declaration
+  // order, but when every failure is a replay divergence the per-VM
+  // structured reports are pooled and blame order (sched::precedes —
+  // affirmative causes before waiting victims, then lowest gc) picks the
+  // report that names the root cause, independent of which VM thread
+  // happened to unwind first.
+  bool any_error = false;
+  for (auto& r : running) any_error = any_error || (r.error != nullptr);
+  if (any_error) {
+    for (auto& r : running) {
+      if (!r.error) continue;
+      try {
+        std::rethrow_exception(r.error);
+      } catch (const ReplayDivergenceError&) {
+        // Divergences are selected below.
+      } catch (...) {
+        throw;
+      }
+    }
+    std::vector<sched::DivergenceReport> reports;
+    for (auto& r : running) {
+      for (sched::DivergenceReport rep : r.machine->divergence_reports()) {
+        rep.vm_name = r.spec->name;
+        reports.push_back(std::move(rep));
+      }
+      if (!r.error) continue;
+      // A plain (report-less) divergence still contributes a minimal entry
+      // so the failing VM is represented even without forensics.
+      try {
+        std::rethrow_exception(r.error);
+      } catch (const sched::ReportedDivergenceError&) {
+        // Already present: Vm::throw_divergence records before throwing.
+      } catch (const ReplayDivergenceError& e) {
+        sched::DivergenceReport rep;
+        rep.vm_id = r.spec->vm_id;
+        rep.vm_name = r.spec->name;
+        rep.cause = e.cause();
+        rep.detail = e.what();
+        reports.push_back(std::move(rep));
+      }
+    }
+    if (reports.empty()) {
+      for (auto& r : running) {
+        if (r.error) std::rethrow_exception(r.error);
+      }
+    }
+    throw_blamed(std::move(reports));
   }
 
   RunResult result;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   if (spooling) result.spool_dir = spool_dir;
+  // End-of-replay verification failures (incomplete replay) are collected
+  // across every VM and blame-selected like run-time divergences, so a
+  // multi-VM run reports the lowest-gc divergence rather than whichever VM
+  // the result loop visited first (satellite: deterministic multi-VM
+  // failure reporting).
+  std::vector<sched::DivergenceReport> finish_reports;
   for (auto& r : running) {
     VmRunInfo info;
     info.name = r.spec->name;
@@ -277,9 +364,19 @@ RunResult Session::run_impl(vm::Mode djvm_mode,
         info.log = std::move(log);
       }
     } else if (r.machine->mode() == vm::Mode::kReplay) {
-      r.machine->finish_replay();
+      try {
+        r.machine->finish_replay();
+      } catch (const sched::ReportedDivergenceError& e) {
+        sched::DivergenceReport rep = e.report();
+        rep.vm_name = r.spec->name;
+        finish_reports.push_back(std::move(rep));
+      }
     }
     result.vms.push_back(std::move(info));
+  }
+  if (!finish_reports.empty()) {
+    network->shutdown();
+    throw_blamed(std::move(finish_reports));
   }
   network->shutdown();
   return result;
@@ -318,9 +415,19 @@ void verify(const RunResult& recorded, const RunResult& replayed) {
     for (const auto& r : replayed.vms) {
       if (r.name == rec.name) rep = &r;
     }
+    // Trace mismatches throw ReportedDivergenceError so the doctor and
+    // timeline export get coordinates even for divergences only visible in
+    // the post-hoc diff (identical schedules, different payloads).
+    sched::DivergenceReport d;
+    d.vm_id = rec.vm_id;
+    d.vm_name = rec.name;
+    d.cause = DivergenceCause::kTraceMismatch;
     if (rep == nullptr) {
-      throw ReplayDivergenceError("VM '" + rec.name +
-                                  "' missing from the replay run");
+      d.detail = "VM '" + rec.name + "' missing from the replay run";
+      // Copy the message out first: evaluation order of the what-string and
+      // std::move(d) within one call is unspecified.
+      std::string msg = d.detail;
+      throw sched::ReportedDivergenceError(std::move(msg), std::move(d));
     }
     if (rec.trace_digest == rep->trace_digest &&
         rec.trace.size() == rep->trace.size()) {
@@ -332,19 +439,56 @@ void verify(const RunResult& recorded, const RunResult& replayed) {
       if (rec.trace[i] == rep->trace[i]) continue;
       const auto& a = rec.trace[i];
       const auto& b = rep->trace[i];
-      throw ReplayDivergenceError(
+      d.thread = b.thread;
+      d.gc = b.gc;
+      d.has_expected = true;
+      d.expected_gc = a.gc;
+      d.event_known = true;
+      d.event = b.kind;
+      d.detail =
           "VM '" + rec.name + "' diverged at trace position " +
           std::to_string(i) + ": recorded {gc=" + std::to_string(a.gc) +
           " t" + std::to_string(a.thread) + " " +
           sched::event_kind_name(a.kind) + "} vs replayed {gc=" +
           std::to_string(b.gc) + " t" + std::to_string(b.thread) + " " +
-          sched::event_kind_name(b.kind) + "}");
+          sched::event_kind_name(b.kind) + "}";
+      std::string msg = d.detail;
+      throw sched::ReportedDivergenceError(std::move(msg), std::move(d));
     }
-    throw ReplayDivergenceError(
-        "VM '" + rec.name + "' trace length differs: recorded " +
-        std::to_string(rec.trace.size()) + " vs replayed " +
-        std::to_string(rep->trace.size()));
+    d.gc = n > 0 ? rec.trace[n - 1].gc : 0;
+    d.detail = "VM '" + rec.name + "' trace length differs: recorded " +
+               std::to_string(rec.trace.size()) + " vs replayed " +
+               std::to_string(rep->trace.size());
+    std::string msg = d.detail;
+    throw sched::ReportedDivergenceError(std::move(msg), std::move(d));
   }
+}
+
+void export_chrome_trace(const RunResult& run, const std::string& path,
+                         const sched::DivergenceReport* divergence) {
+  // Spooled logs are loaded here and kept alive for the export call; the
+  // ChromeTraceVm entries only borrow.
+  std::vector<std::unique_ptr<record::VmLog>> loaded;
+  std::vector<record::ChromeTraceVm> vms;
+  for (const auto& info : run.vms) {
+    if (!info.djvm) continue;
+    record::ChromeTraceVm vm;
+    vm.name = info.name;
+    vm.vm_id = info.vm_id;
+    if (info.log) {
+      vm.log = &*info.log;
+    } else if (!info.spool_path.empty()) {
+      loaded.push_back(std::make_unique<record::VmLog>(
+          record::load_spooled_log(info.spool_path)));
+      vm.log = loaded.back().get();
+    }
+    if (!info.trace.empty()) vm.trace = &info.trace;
+    if (divergence != nullptr && divergence->vm_id == info.vm_id) {
+      vm.divergence = divergence;
+    }
+    vms.push_back(std::move(vm));
+  }
+  record::save_chrome_trace(path, vms);
 }
 
 }  // namespace djvu::core

@@ -34,6 +34,7 @@
 #include "net/fault_model.h"
 #include "record/log_spool.h"
 #include "record/vm_log.h"
+#include "sched/divergence.h"
 #include "sched/trace.h"
 #include "vm/vm.h"
 
@@ -234,8 +235,21 @@ class Session {
   std::vector<VmSpec> specs_;
 };
 
-/// Compares record and replay results; throws ReplayDivergenceError with
-/// the first differing event when the executions are not identical.
+/// Compares record and replay results; throws a
+/// sched::ReportedDivergenceError (a ReplayDivergenceError carrying a
+/// structured DivergenceReport with cause kTraceMismatch) naming the first
+/// differing event when the executions are not identical.
 void verify(const RunResult& recorded, const RunResult& replayed);
+
+/// Exports a run's recorded schedules — and per-event traces when
+/// keep_trace was on — as a Chrome trace_event JSON file at `path`,
+/// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one process
+/// track per DJVM, one thread track per recorded thread, one slice per
+/// logical schedule interval on a global-counter timeline.  Spooled
+/// recordings are streamed back from their spool files.  When `divergence`
+/// is supplied (from a failed replay), an instant marker is drawn at the
+/// divergence position on the blamed VM's track.
+void export_chrome_trace(const RunResult& run, const std::string& path,
+                         const sched::DivergenceReport* divergence = nullptr);
 
 }  // namespace djvu::core

@@ -94,4 +94,32 @@ std::string to_text(const LogStats& s) {
   return out;
 }
 
+std::string to_json(const LogStats& s) {
+  std::string out = "{";
+  out += str_format("\"threads\": %zu, ", s.threads);
+  out += str_format("\"intervals\": %zu, ", s.intervals);
+  out += str_format("\"critical_events\": %llu, ",
+                    static_cast<unsigned long long>(s.critical_events));
+  out += str_format("\"min_interval_len\": %llu, ",
+                    static_cast<unsigned long long>(s.min_interval_len));
+  out += str_format("\"max_interval_len\": %llu, ",
+                    static_cast<unsigned long long>(s.max_interval_len));
+  out += str_format("\"mean_interval_len\": %.3f, ", s.mean_interval_len);
+  out += str_format("\"events_per_interval\": %.3f, ", s.events_per_interval);
+  out += str_format("\"network_entries\": %zu, ", s.network_entries);
+  out += str_format("\"exception_entries\": %zu, ", s.exception_entries);
+  out += str_format("\"content_bytes\": %zu, ", s.content_bytes);
+  out += str_format("\"serialized_bytes\": %zu, ", s.serialized_bytes);
+  out += str_format("\"schedule_bytes\": %zu, ", s.schedule_bytes);
+  out += "\"entries_by_kind\": {";
+  bool first = true;
+  for (const auto& [kind, count] : s.entries_by_kind) {
+    if (!first) out += ", ";
+    first = false;
+    out += str_format("\"%s\": %zu", kind.c_str(), count);
+  }
+  out += "}}";
+  return out;
+}
+
 }  // namespace djvu::record

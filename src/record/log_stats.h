@@ -57,4 +57,8 @@ LogStats compute_stats(const VmLog& log, const sched::SchedStats& sched);
 /// Multi-line human-readable rendering.
 std::string to_text(const LogStats& stats);
 
+/// Single JSON object (schedule shape, network shape, byte budget); used by
+/// the replay doctor's machine-readable report.
+std::string to_json(const LogStats& stats);
+
 }  // namespace djvu::record

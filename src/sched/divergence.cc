@@ -1,0 +1,148 @@
+#include "sched/divergence.h"
+
+#include "common/strutil.h"
+
+namespace djvu::sched {
+
+bool precedes(const DivergenceReport& a, const DivergenceReport& b) {
+  if (a.affirmative() != b.affirmative()) return a.affirmative();
+  if (a.divergence_gc() != b.divergence_gc()) {
+    return a.divergence_gc() < b.divergence_gc();
+  }
+  if (a.vm_id != b.vm_id) return a.vm_id < b.vm_id;
+  return a.thread < b.thread;
+}
+
+const DivergenceReport* divergence_report(const std::exception& e) {
+  const auto* reported = dynamic_cast<const ReportedDivergenceError*>(&e);
+  return reported != nullptr ? &reported->report() : nullptr;
+}
+
+std::string to_text(const DivergenceReport& r) {
+  std::string out;
+  out += str_format("divergence (%s) in vm %u%s%s, thread %u\n",
+                    divergence_cause_name(r.cause), r.vm_id,
+                    r.vm_name.empty() ? "" : " ",
+                    r.vm_name.empty() ? "" : ("'" + r.vm_name + "'").c_str(),
+                    r.thread);
+  out += str_format("  counter observed: gc %llu; divergence position: gc %llu\n",
+                    static_cast<unsigned long long>(r.gc),
+                    static_cast<unsigned long long>(r.divergence_gc()));
+  out += str_format("  thread had replayed %llu critical event(s)\n",
+                    static_cast<unsigned long long>(r.thread_events_replayed));
+  if (r.schedule_exhausted) {
+    if (r.has_interval) {
+      out += str_format(
+          "  recorded schedule exhausted; last recorded interval "
+          "[%llu, %llu]\n",
+          static_cast<unsigned long long>(r.expected_interval.first),
+          static_cast<unsigned long long>(r.expected_interval.last));
+    } else {
+      out += "  recorded schedule exhausted (thread had no recorded events)\n";
+    }
+  } else if (r.has_expected) {
+    out += str_format("  expected turn: gc %llu",
+                      static_cast<unsigned long long>(r.expected_gc));
+    if (r.has_interval) {
+      out += str_format(" in interval [%llu, %llu]",
+                        static_cast<unsigned long long>(r.expected_interval.first),
+                        static_cast<unsigned long long>(r.expected_interval.last));
+    }
+    out += "\n";
+  }
+  if (r.event_known) {
+    out += str_format("  attempted event: %s (conflict key %llx)\n",
+                      event_kind_name(r.event),
+                      static_cast<unsigned long long>(r.conflict_key));
+  }
+  if (r.lease_active) {
+    out += str_format("  interval lease active up to gc %llu\n",
+                      static_cast<unsigned long long>(r.lease_end));
+  }
+  if (!r.detail.empty()) out += "  detail: " + r.detail + "\n";
+  if (!r.recent.empty()) {
+    out += str_format("  last %zu event(s) of thread %u before divergence:\n",
+                      r.recent.size(), r.thread);
+    for (const auto& rec : r.recent) {
+      out += str_format("    gc %llu  %-14s aux=%llx\n",
+                        static_cast<unsigned long long>(rec.gc),
+                        event_kind_name(rec.kind),
+                        static_cast<unsigned long long>(rec.aux));
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const DivergenceReport& r) {
+  std::string out = "{";
+  out += str_format("\"vm_id\": %u, ", r.vm_id);
+  out += "\"vm_name\": \"" + json_escape(r.vm_name) + "\", ";
+  out += str_format("\"cause\": \"%s\", ", divergence_cause_name(r.cause));
+  out += str_format("\"affirmative\": %s, ",
+                    r.affirmative() ? "true" : "false");
+  out += str_format("\"thread\": %u, ", r.thread);
+  out += str_format("\"gc\": %llu, ",
+                    static_cast<unsigned long long>(r.gc));
+  out += str_format("\"divergence_gc\": %llu, ",
+                    static_cast<unsigned long long>(r.divergence_gc()));
+  out += str_format("\"thread_events_replayed\": %llu, ",
+                    static_cast<unsigned long long>(r.thread_events_replayed));
+  out += str_format("\"schedule_exhausted\": %s, ",
+                    r.schedule_exhausted ? "true" : "false");
+  if (r.has_expected) {
+    out += str_format("\"expected_gc\": %llu, ",
+                      static_cast<unsigned long long>(r.expected_gc));
+  }
+  if (r.has_interval) {
+    out += str_format("\"expected_interval\": {\"first\": %llu, \"last\": %llu}, ",
+                      static_cast<unsigned long long>(r.expected_interval.first),
+                      static_cast<unsigned long long>(r.expected_interval.last));
+  }
+  if (r.event_known) {
+    out += str_format("\"event\": \"%s\", ", event_kind_name(r.event));
+    out += str_format("\"conflict_key\": %llu, ",
+                      static_cast<unsigned long long>(r.conflict_key));
+  }
+  out += str_format("\"lease_active\": %s, ",
+                    r.lease_active ? "true" : "false");
+  if (r.lease_active) {
+    out += str_format("\"lease_end\": %llu, ",
+                      static_cast<unsigned long long>(r.lease_end));
+  }
+  out += "\"detail\": \"" + json_escape(r.detail) + "\", ";
+  out += "\"recent\": [";
+  for (std::size_t i = 0; i < r.recent.size(); ++i) {
+    const auto& rec = r.recent[i];
+    if (i != 0) out += ", ";
+    out += str_format("{\"gc\": %llu, \"thread\": %u, \"kind\": \"%s\", "
+                      "\"aux\": %llu}",
+                      static_cast<unsigned long long>(rec.gc), rec.thread,
+                      event_kind_name(rec.kind),
+                      static_cast<unsigned long long>(rec.aux));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace djvu::sched

@@ -1,0 +1,153 @@
+// Structured divergence forensics.
+//
+// The paper's replay correctness story hinges on *detecting* drift from the
+// recorded logical schedule (§4–§5); this layer makes the detection
+// *diagnosable*.  Every replay-side ReplayDivergenceError throw site is
+// enriched by the VM into a DivergenceReport — which thread, which expected
+// interval <FirstCEvent, LastCEvent>, which counter value, which event kind
+// and conflict object, the lease state, and the thread's recent-event ring —
+// and the report rides the exception (ReportedDivergenceError) up through
+// Session::run, where the most-blameworthy report across all threads and
+// VMs is selected deterministically (see precedes()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/ids.h"
+#include "sched/critical_event.h"
+#include "sched/interval.h"
+#include "sched/trace.h"
+
+namespace djvu::sched {
+
+/// Everything known about one thread's divergence at the moment it threw.
+/// Cheap to build: all fields come from thread-local replay state that is
+/// already in cache when the divergence fires.
+struct DivergenceReport {
+  /// Which DJVM ("" / 0 until the session fills the name in).
+  DjvmId vm_id = 0;
+  std::string vm_name;
+
+  /// Machine-readable classification (see common/errors.h).
+  DivergenceCause cause = DivergenceCause::kUnknown;
+
+  /// The diverging (or victim) thread.
+  ThreadNum thread = 0;
+
+  /// Published global counter value observed when the divergence fired.
+  /// Informational: under leasing / concurrent unwinding it may lag or race;
+  /// use divergence_gc() for the deterministic schedule position.
+  GlobalCount gc = 0;
+
+  /// Critical events this thread had replayed (its cursor position).
+  GlobalCount thread_events_replayed = 0;
+
+  /// True when the thread's recorded schedule was fully consumed — it
+  /// attempted an event beyond the recording (expected_interval then holds
+  /// the LAST recorded interval, the injection point's neighborhood).
+  bool schedule_exhausted = false;
+
+  /// Turn the thread expected next (its cursor's peek), when one exists.
+  bool has_expected = false;
+  GlobalCount expected_gc = 0;
+
+  /// Interval <FirstCEvent, LastCEvent> the expected event belongs to; for
+  /// an exhausted schedule, the thread's last recorded interval.
+  bool has_interval = false;
+  LogicalInterval expected_interval{};
+
+  /// Event being attempted when known (network gateways and critical_event
+  /// know it; a bare replay_turn_begin does not).
+  bool event_known = false;
+  EventKind event = EventKind::kSharedRead;
+
+  /// Record-sharding conflict key of the attempted event (object address,
+  /// thread-local key, or 0 when unknown).
+  std::uint64_t conflict_key = 0;
+
+  /// Interval-lease state of the thread at the divergence.
+  bool lease_active = false;
+  GlobalCount lease_end = 0;
+
+  /// The original error message.
+  std::string detail;
+
+  /// The thread's bounded recent-event ring, oldest first (the last few
+  /// events it executed before diverging — captured per-event during
+  /// replay at ring-buffer cost, no locks).
+  std::vector<TraceRecord> recent;
+
+  /// True for causes where the throwing thread itself acted incompatibly
+  /// with the recording; false for waiting victims (stall / poisoned),
+  /// whose reports locate the earliest missing turn instead.
+  bool affirmative() const {
+    return cause != DivergenceCause::kStall &&
+           cause != DivergenceCause::kPoisoned &&
+           cause != DivergenceCause::kUnknown;
+  }
+
+  /// Deterministic schedule position of the divergence: the expected turn
+  /// when there is one, the first missing event after an exhausted
+  /// schedule, else the observed counter value.
+  GlobalCount divergence_gc() const {
+    if (has_expected) return expected_gc;
+    if (schedule_exhausted && has_interval) return expected_interval.last + 1;
+    return gc;
+  }
+};
+
+/// Deterministic blame order: does `a` describe the divergence better than
+/// `b`?  Affirmative divergers outrank waiting victims (a victim's report
+/// can name a perfectly innocent thread); within a class the lowest
+/// schedule position wins (the earliest point where execution left the
+/// recording), tie-broken by vm then thread so multi-VM selection is a
+/// total order independent of thread scheduling.
+bool precedes(const DivergenceReport& a, const DivergenceReport& b);
+
+/// ReplayDivergenceError carrying a structured report (and, when thrown by
+/// the session, every sibling thread's report).  Catch sites that only know
+/// ReplayDivergenceError keep working; divergence_report() recovers the
+/// structure from a generic catch.
+class ReportedDivergenceError : public ReplayDivergenceError {
+ public:
+  ReportedDivergenceError(const std::string& what, DivergenceReport report,
+                          std::vector<DivergenceReport> all = {})
+      : ReplayDivergenceError(what, report.cause),
+        report_(std::make_shared<const DivergenceReport>(std::move(report))),
+        all_(std::make_shared<const std::vector<DivergenceReport>>(
+            std::move(all))) {}
+
+  const DivergenceReport& report() const { return *report_; }
+  std::shared_ptr<const DivergenceReport> shared_report() const {
+    return report_;
+  }
+
+  /// Every report collected for the failed run (empty when thrown below the
+  /// session layer).  The selected report() is among them.
+  const std::vector<DivergenceReport>& all_reports() const { return *all_; }
+
+ private:
+  std::shared_ptr<const DivergenceReport> report_;
+  std::shared_ptr<const std::vector<DivergenceReport>> all_;
+};
+
+/// The structured report attached to an in-flight exception; nullptr when
+/// the exception carries none.  The pointer is owned by the exception.
+const DivergenceReport* divergence_report(const std::exception& e);
+
+/// Human-readable multi-line rendering.
+std::string to_text(const DivergenceReport& r);
+
+/// JSON object rendering (hand-rolled; no external deps).
+std::string to_json(const DivergenceReport& r);
+
+/// JSON string escaping shared by the forensics emitters (doctor, chrome
+/// trace).
+std::string json_escape(const std::string& s);
+
+}  // namespace djvu::sched

@@ -60,7 +60,8 @@ void GlobalCounter::runner_ended() {
 
 void GlobalCounter::throw_poisoned() const {
   throw ReplayDivergenceError(
-      "replay aborted: another thread diverged (counter poisoned)");
+      "replay aborted: another thread diverged (counter poisoned)",
+      DivergenceCause::kPoisoned);
 }
 
 void GlobalCounter::release_reached_locked(GlobalCount new_value) {
@@ -192,7 +193,8 @@ void GlobalCounter::await(GlobalCount target) {
     if (v > target) {
       throw ReplayDivergenceError(
           "global counter passed " + std::to_string(target) + " (now " +
-          std::to_string(v) + "): schedule divergence");
+          std::to_string(v) + "): schedule divergence",
+          DivergenceCause::kCounterPassed);
     }
   }
 
@@ -286,12 +288,14 @@ void GlobalCounter::await(GlobalCount target) {
         " waiter(s) parked, " +
         std::to_string(runners_.load(std::memory_order_relaxed)) +
         " runner(s) registered): the schedule log does not match this "
-        "execution");
+        "execution",
+        DivergenceCause::kStall);
   }
   if (v > target) {
     throw ReplayDivergenceError(
         "global counter passed " + std::to_string(target) + " (now " +
-        std::to_string(v) + "): schedule divergence");
+        std::to_string(v) + "): schedule divergence",
+        DivergenceCause::kCounterPassed);
   }
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/errors.h"
@@ -119,7 +120,8 @@ class IntervalCursor {
   GlobalCount peek() const {
     if (exhausted()) {
       throw ReplayDivergenceError(
-          "thread attempted a critical event beyond its recorded schedule");
+          "thread attempted a critical event beyond its recorded schedule",
+          DivergenceCause::kBeyondSchedule);
     }
     return intervals_[index_].first + offset_;
   }
@@ -132,7 +134,8 @@ class IntervalCursor {
   GlobalCount interval_last() const {
     if (exhausted()) {
       throw ReplayDivergenceError(
-          "thread attempted a critical event beyond its recorded schedule");
+          "thread attempted a critical event beyond its recorded schedule",
+          DivergenceCause::kBeyondSchedule);
     }
     return intervals_[index_].last;
   }
@@ -141,8 +144,10 @@ class IntervalCursor {
   void advance() {
     if (exhausted()) {
       throw ReplayDivergenceError(
-          "thread advanced past its recorded schedule");
+          "thread advanced past its recorded schedule",
+          DivergenceCause::kBeyondSchedule);
     }
+    ++consumed_;
     if (intervals_[index_].first + offset_ == intervals_[index_].last) {
       ++index_;
       offset_ = 0;
@@ -161,12 +166,31 @@ class IntervalCursor {
       if (iv.first + offset_ > limit) return;  // next event is past the limit
       if (iv.last <= limit) {
         ++index_;  // whole remainder of the interval is at or below the limit
+        consumed_ += iv.length() - offset_;
         offset_ = 0;
         continue;
       }
+      consumed_ += limit - iv.first + 1 - offset_;
       offset_ = limit - iv.first + 1;
       return;
     }
+  }
+
+  /// Events consumed (or skipped past) so far — the thread's replayed
+  /// critical-event count, used by divergence forensics.
+  GlobalCount consumed() const { return consumed_; }
+
+  /// The interval the NEXT event belongs to; nullopt when exhausted.
+  std::optional<LogicalInterval> current_interval() const {
+    if (exhausted()) return std::nullopt;
+    return intervals_[index_];
+  }
+
+  /// The final recorded interval (forensics context when the cursor ran
+  /// out); nullopt for a thread with no recorded events.
+  std::optional<LogicalInterval> last_recorded_interval() const {
+    if (intervals_.empty()) return std::nullopt;
+    return intervals_.back();
   }
 
   /// Events remaining across all intervals.
@@ -182,6 +206,7 @@ class IntervalCursor {
   IntervalList intervals_;
   std::size_t index_ = 0;
   GlobalCount offset_ = 0;
+  GlobalCount consumed_ = 0;  // events advanced or skipped past
 };
 
 }  // namespace djvu::sched

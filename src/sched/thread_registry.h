@@ -7,6 +7,7 @@
 // assignment — is part of the enforced schedule.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,32 @@ struct ThreadState {
   /// append here without any cross-thread lock and the Vm merges the
   /// buffer into its ExecutionTrace at thread finish / trace access.
   std::vector<TraceRecord> trace_buf;
+
+  /// Bounded recent-event ring for divergence forensics (replay mode
+  /// only): the last kRecentRingSize events this thread executed, written
+  /// by the owning thread per event — one fixed-size array store and one
+  /// counter increment, no locks, no allocation.  Snapshotted into the
+  /// DivergenceReport when the thread diverges.
+  static constexpr std::size_t kRecentRingSize = 16;
+  std::array<TraceRecord, kRecentRingSize> recent_ring{};
+  std::uint64_t recent_count = 0;
+
+  void ring_push(const TraceRecord& r) {
+    recent_ring[recent_count % kRecentRingSize] = r;
+    ++recent_count;
+  }
+
+  /// The ring's contents, oldest first.
+  std::vector<TraceRecord> ring_snapshot() const {
+    const std::uint64_t n =
+        recent_count < kRecentRingSize ? recent_count : kRecentRingSize;
+    std::vector<TraceRecord> out;
+    out.reserve(n);
+    for (std::uint64_t i = recent_count - n; i < recent_count; ++i) {
+      out.push_back(recent_ring[i % kRecentRingSize]);
+    }
+    return out;
+  }
 };
 
 /// Registry of all threads of one VM; assigns creation-order thread numbers.

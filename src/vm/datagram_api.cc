@@ -1,9 +1,12 @@
 #include "vm/datagram_api.h"
 
+#include <cstdint>
 #include <cstring>
+#include <map>
 
 #include "common/crc32.h"
 #include "record/log_entries.h"
+#include "record/network_log.h"
 
 namespace djvu::vm {
 namespace {
@@ -65,7 +68,8 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
   const record::NetworkLogEntry* entry =
       vm_.replay_log()->network.find(st.num, en);
   if (entry == nullptr) {
-    throw ReplayDivergenceError("udp create has no recorded entry");
+    vm_.replay_divergence(EventKind::kUdpCreate,
+                          "udp create has no recorded entry", this);
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kUdpCreate,
@@ -76,11 +80,30 @@ DatagramSocket::DatagramSocket(Vm& vm, net::Port port) : vm_(vm) {
   try {
     port_ = vm_.network().udp_bind({vm_.host(), recorded_port});
   } catch (const net::NetError& err) {
-    throw ReplayDivergenceError(
-        std::string("recorded udp bind failed during replay: ") + err.what());
+    vm_.replay_divergence(
+        EventKind::kUdpCreate,
+        std::string("recorded udp bind failed during replay: ") + err.what(),
+        this);
   }
   local_ = port_->address();
   rel_ = std::make_unique<replay::ReliableUdp>(port_, &vm_.network());
+  // Bound the replay buffer's residency (§4.2.3): count how many receive
+  // events the recorded log serves from each datagram id, so the replayer
+  // can prune an entry after its last recorded delivery and drop arrivals
+  // the log never names.  The log does not say which socket served an
+  // entry, so the count is VM-wide — an over-approximation only when two
+  // sockets of this VM received the same multicast datagram, which retains
+  // (never starves) and stays bounded by the log.
+  std::map<DgNetworkEventId, std::uint32_t> deliveries;
+  const record::NetworkLog& net_log = vm_.replay_log()->network;
+  for (ThreadNum t : net_log.threads()) {
+    for (const record::NetworkLogEntry& e : net_log.thread_entries(t)) {
+      if (e.kind == EventKind::kUdpReceive && e.dg_id) {
+        ++deliveries[*e.dg_id];
+      }
+    }
+  }
+  replayer_.set_recorded_deliveries(std::move(deliveries));
   vm_.mark_event(EventKind::kUdpCreate, local_.port, this);
 }
 
@@ -193,9 +216,11 @@ void DatagramSocket::send(const DatagramPacket& packet) {
   try {
     run();
   } catch (const net::NetError& err) {
-    throw ReplayDivergenceError(
+    vm_.replay_divergence(
+        EventKind::kUdpSend,
         std::string("recorded-successful udp send failed during replay: ") +
-        err.what());
+            err.what(),
+        this);
   }
 }
 
@@ -310,7 +335,8 @@ DatagramPacket DatagramSocket::receive() {
   const record::NetworkLogEntry* entry =
       vm_.replay_log()->network.find(st.num, en);
   if (entry == nullptr) {
-    throw ReplayDivergenceError("udp receive has no recorded entry");
+    vm_.replay_divergence(EventKind::kUdpReceive,
+                          "udp receive has no recorded entry", this);
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kUdpReceive,
@@ -338,8 +364,9 @@ DatagramPacket DatagramSocket::receive() {
     try {
       payload = replayer_.await(want, [&] { return fetch_replay(); });
     } catch (const net::NetError& err) {
-      throw ReplayDivergenceError(
-          std::string("replay udp receive failed: ") + err.what());
+      vm_.replay_divergence(
+          EventKind::kUdpReceive,
+          std::string("replay udp receive failed: ") + err.what(), this);
     }
   }
   vm_.replay_turn_end(EventKind::kUdpReceive, crc_aux(payload));

@@ -139,7 +139,8 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
     // Open-world: "The actual operating system-level connect call is not
     // executed."
     if (entry == nullptr || !entry->value) {
-      throw ReplayDivergenceError("replay connect without recorded outcome");
+      vm_.replay_divergence(EventKind::kSockConnect,
+                            "replay connect without recorded outcome", this);
     }
     virtual_ = true;
     vm_.mark_event(EventKind::kSockConnect, conn_id_aux(my_id), this);
@@ -160,9 +161,11 @@ Socket::Socket(Vm& vm, net::SocketAddress remote) : vm_(vm), remote_(remote) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         continue;
       }
-      throw ReplayDivergenceError(
+      vm_.replay_divergence(
+          EventKind::kSockConnect,
           "recorded-successful connect failed during replay: " +
-          std::string(err.what()));
+              std::string(err.what()),
+          this);
     }
   }
   conn_->write(encode_meta(my_id));
@@ -270,7 +273,8 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
   const record::NetworkLogEntry* entry =
       vm_.replay_log()->network.find(st.num, en);
   if (entry == nullptr) {
-    throw ReplayDivergenceError("read event has no recorded entry");
+    vm_.replay_divergence(EventKind::kSockRead,
+                          "read event has no recorded entry", this);
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kSockRead,
@@ -281,8 +285,9 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
     // Open-world: serve recorded content, no network.
     const Bytes& d = *entry->data;
     if (d.size() > max) {
-      throw ReplayDivergenceError(
-          "recorded read content larger than the replayed buffer");
+      vm_.replay_divergence(
+          EventKind::kSockRead,
+          "recorded read content larger than the replayed buffer", this);
     }
     std::memcpy(out, d.data(), d.size());
     vm_.mark_event(EventKind::kSockRead, crc_aux(d), this);
@@ -290,8 +295,9 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
   }
   const std::size_t m = static_cast<std::size_t>(*entry->value);
   if (m > max) {
-    throw ReplayDivergenceError(
-        "recorded read returned more bytes than the replayed request");
+    vm_.replay_divergence(
+        EventKind::kSockRead,
+        "recorded read returned more bytes than the replayed request", this);
   }
   // Turn-first (DESIGN.md §5), then read *exactly* numRecorded bytes:
   // "the thread reads only numRecorded bytes even if more bytes are
@@ -309,12 +315,14 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
       try {
         r = conn_->read(out + got, m - got);
       } catch (const net::NetError& err) {
-        throw ReplayDivergenceError(std::string("replay read failed: ") +
-                                    err.what());
+        vm_.replay_divergence(EventKind::kSockRead,
+                              std::string("replay read failed: ") + err.what(),
+                              this);
       }
       if (r == 0) {
-        throw ReplayDivergenceError(
-            "EOF before the recorded byte count was read");
+        vm_.replay_divergence(
+            EventKind::kSockRead,
+            "EOF before the recorded byte count was read", this);
       }
       got += r;
     }
@@ -344,7 +352,8 @@ std::size_t Socket::do_available() {
   const record::NetworkLogEntry* entry =
       vm_.replay_log()->network.find(st.num, en);
   if (entry == nullptr || !entry->value) {
-    throw ReplayDivergenceError("available event has no recorded entry");
+    vm_.replay_divergence(EventKind::kSockAvailable,
+                          "available event has no recorded entry", this);
   }
   const std::size_t m = static_cast<std::size_t>(*entry->value);
   if (virtual_) {
@@ -355,8 +364,9 @@ std::size_t Socket::do_available() {
   // recorded number of bytes".
   vm_.replay_turn_begin();
   if (m > 0 && !conn_->wait_available(m)) {
-    throw ReplayDivergenceError(
-        "stream ended before the recorded available() count");
+    vm_.replay_divergence(
+        EventKind::kSockAvailable,
+        "stream ended before the recorded available() count", this);
   }
   vm_.replay_turn_end(EventKind::kSockAvailable, m);
   return m;
@@ -416,9 +426,11 @@ void Socket::do_write(BytesView data) {
       try {
         conn_->write(data);
       } catch (const net::NetError& err) {
-        throw ReplayDivergenceError(
+        vm_.replay_divergence(
+            EventKind::kSockWrite,
             std::string("recorded-successful write failed during replay: ") +
-            err.what());
+                err.what(),
+            this);
       }
     }
         // Virtual socket: "any message sent to a non-DJVM thread during
@@ -487,7 +499,8 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
     const record::NetworkLogEntry* entry =
         vm_.replay_log()->network.find(st.num, en);
     if (entry == nullptr) {
-      throw ReplayDivergenceError("bind event has no recorded entry");
+      vm_.replay_divergence(EventKind::kSockBind,
+                            "bind event has no recorded entry", this);
     }
     if (entry->error != NetErrorCode::kNone) {
       vm_.mark_event(EventKind::kSockBind,
@@ -500,8 +513,10 @@ ServerSocket::ServerSocket(Vm& vm, net::Port port) : vm_(vm) {
     try {
       listener_ = vm_.network().listen({vm_.host(), port_});
     } catch (const net::NetError& err) {
-      throw ReplayDivergenceError(
-          std::string("recorded bind failed during replay: ") + err.what());
+      vm_.replay_divergence(
+          EventKind::kSockBind,
+          std::string("recorded bind failed during replay: ") + err.what(),
+          this);
     }
     vm_.mark_event(EventKind::kSockBind, port_, this);
   }
@@ -612,7 +627,8 @@ std::unique_ptr<Socket> ServerSocket::accept() {
   const record::NetworkLogEntry* entry =
       vm_.replay_log()->network.find(st.num, en);
   if (entry == nullptr) {
-    throw ReplayDivergenceError("accept event has no recorded entry");
+    vm_.replay_divergence(EventKind::kSockAccept,
+                          "accept event has no recorded entry", this);
   }
   if (entry->error != NetErrorCode::kNone) {
     vm_.mark_event(EventKind::kSockAccept,
@@ -629,9 +645,11 @@ std::unique_ptr<Socket> ServerSocket::accept() {
   auto conn = pool_.await(want, [&]() {
     auto c = listener_->accept();
     if (!vm_.is_djvm_host(c->remote_address().host)) {
-      throw ReplayDivergenceError(
+      vm_.replay_divergence(
+          EventKind::kSockAccept,
           "connection from a non-DJVM host arrived during closed-scheme "
-          "replay");
+          "replay",
+          this);
     }
     std::uint8_t meta[kMetaSize];
     c->read_fully(meta, kMetaSize);

@@ -56,7 +56,8 @@ std::uint64_t recorded_query(Vm& vm, std::uint64_t (*query)()) {
   const record::NetworkLogEntry* entry =
       vm.replay_log()->network.find(st.num, en);
   if (entry == nullptr || !entry->value) {
-    throw ReplayDivergenceError("time query has no recorded entry");
+    vm.replay_divergence(EventKind::kTimeRead,
+                         "time query has no recorded entry");
   }
   std::uint64_t value = *entry->value;
   vm.mark_event(EventKind::kTimeRead, value);

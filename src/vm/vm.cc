@@ -249,33 +249,119 @@ void Vm::finish_replay() {
   }
   flush_all_traces();
   const auto& per_thread = replay_log_->schedule.per_thread;
-  std::size_t recorded_threads = 0;
-  for (const auto& list : per_thread) {
-    if (!list.empty()) ++recorded_threads;
-  }
+  // Check every thread and throw the report with the LOWEST schedule
+  // position, not the first failing thread number — deterministic blame.
+  std::vector<sched::DivergenceReport> found;
   for (ThreadNum t = 0; t < per_thread.size(); ++t) {
     sched::ThreadState* state = registry_.find(t);
     if (state == nullptr) {
       if (!per_thread[t].empty()) {
-        throw ReplayDivergenceError("recorded thread " + std::to_string(t) +
-                                    " was never created during replay");
+        sched::DivergenceReport r;
+        r.vm_id = config_.vm_id;
+        r.cause = DivergenceCause::kIncompleteReplay;
+        r.thread = t;
+        r.gc = counter_.value();
+        r.has_expected = true;
+        r.expected_gc = per_thread[t].front().first;
+        r.has_interval = true;
+        r.expected_interval = per_thread[t].front();
+        r.detail = "recorded thread " + std::to_string(t) +
+                   " was never created during replay";
+        found.push_back(std::move(r));
       }
       continue;
     }
     if (!state->cursor.exhausted()) {
-      throw ReplayDivergenceError(
+      found.push_back(make_divergence_report(
+          *state, DivergenceCause::kIncompleteReplay,
           "thread " + std::to_string(t) + " finished with " +
-          std::to_string(state->cursor.remaining()) +
-          " recorded critical events not replayed");
+              std::to_string(state->cursor.remaining()) +
+              " recorded critical events not replayed",
+          /*event_known=*/false, sched::EventKind::kSharedRead,
+          kThreadLocalConflict));
     }
   }
-  (void)recorded_threads;
-  if (counter_.value() != replay_log_->stats.critical_events) {
-    throw ReplayDivergenceError(
-        "replay executed " + std::to_string(counter_.value()) +
-        " critical events, recorded " +
-        std::to_string(replay_log_->stats.critical_events));
+  if (found.empty() &&
+      counter_.value() != replay_log_->stats.critical_events) {
+    sched::DivergenceReport r;
+    r.vm_id = config_.vm_id;
+    r.cause = DivergenceCause::kIncompleteReplay;
+    r.gc = counter_.value();
+    r.detail = "replay executed " + std::to_string(counter_.value()) +
+               " critical events, recorded " +
+               std::to_string(replay_log_->stats.critical_events);
+    found.push_back(std::move(r));
   }
+  if (!found.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < found.size(); ++i) {
+      if (sched::precedes(found[i], found[best])) best = i;
+    }
+    throw_divergence(std::move(found[best]));
+  }
+}
+
+std::vector<sched::DivergenceReport> Vm::divergence_reports() const {
+  std::lock_guard<std::mutex> lock(divergence_mutex_);
+  return divergences_;
+}
+
+sched::DivergenceReport Vm::make_divergence_report(
+    const sched::ThreadState& state, DivergenceCause cause,
+    const std::string& detail, bool event_known, sched::EventKind kind,
+    ConflictKey conflict) const {
+  sched::DivergenceReport r;
+  r.vm_id = config_.vm_id;
+  r.cause = cause;
+  r.thread = state.num;
+  r.gc = counter_.value();
+  r.thread_events_replayed = state.cursor.consumed();
+  if (auto iv = state.cursor.current_interval()) {
+    r.has_expected = true;
+    r.expected_gc = state.cursor.peek();
+    r.has_interval = true;
+    r.expected_interval = *iv;
+  } else {
+    r.schedule_exhausted = true;
+    if (auto last = state.cursor.last_recorded_interval()) {
+      r.has_interval = true;
+      r.expected_interval = *last;
+    }
+  }
+  r.event_known = event_known;
+  r.event = kind;
+  r.conflict_key =
+      conflict == kThreadLocalConflict
+          ? 0
+          : static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(conflict));
+  r.lease_active = state.lease_active;
+  r.lease_end = state.lease_end;
+  r.detail = detail;
+  r.recent = state.ring_snapshot();
+  return r;
+}
+
+void Vm::throw_divergence(sched::DivergenceReport report) {
+  {
+    std::lock_guard<std::mutex> lock(divergence_mutex_);
+    divergences_.push_back(report);
+  }
+  // The original message leads (catch sites and tests match on it); the
+  // structured context trails in brackets.
+  std::string msg =
+      report.detail + " [vm " + std::to_string(report.vm_id) + " thread " +
+      std::to_string(report.thread) + ", cause " +
+      divergence_cause_name(report.cause) + ", at gc " +
+      std::to_string(report.divergence_gc()) + "]";
+  throw sched::ReportedDivergenceError(std::move(msg), std::move(report));
+}
+
+void Vm::replay_divergence(sched::EventKind kind, const std::string& what,
+                           ConflictKey conflict) {
+  throw_divergence(make_divergence_report(
+      current_state(), DivergenceCause::kNetworkMismatch, what,
+      /*event_known=*/true, kind, conflict));
 }
 
 void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
@@ -288,6 +374,11 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
     // on explicit trace() access) — no cross-thread lock per event.
     state.trace_buf.push_back({gc, state.num, kind, aux});
   }
+  if (config_.mode == Mode::kReplay) {
+    // Divergence forensics: remember the thread's last few events in its
+    // bounded ring (an array store + increment; no lock, no allocation).
+    state.ring_push({gc, state.num, kind, aux});
+  }
   if (spooler_ != nullptr &&
       state.recorder.local_count() % spool_flush_events_ == 0) {
     // Periodic per-thread drain: closed intervals + trace buffer go to the
@@ -299,31 +390,42 @@ void Vm::after_event(sched::ThreadState& state, sched::EventKind kind,
   }
 }
 
-GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable) {
-  // peek() is the divergence check: a thread attempting an event beyond its
-  // recorded schedule throws here, before any waiting, in both modes.
-  const GlobalCount g = state.cursor.peek();
-  if (!config_.tuning.replay_leasing) {
+GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable,
+                                 bool event_known, sched::EventKind kind,
+                                 ConflictKey conflict) {
+  try {
+    // peek() is the divergence check: a thread attempting an event beyond
+    // its recorded schedule throws here, before any waiting, in both modes.
+    const GlobalCount g = state.cursor.peek();
+    if (!config_.tuning.replay_leasing) {
+      counter_.await(g);
+      return g;
+    }
+    if (state.lease_active) {
+      // Within the lease the turn is already ours: every event in
+      // [lease start, lease_end] belongs to this thread (interval = maximal
+      // consecutive run), so no other thread may run until we publish.
+      // Awaiting here would deadlock — the published counter lags our local
+      // progress until the next stride publication.
+      return g;
+    }
     counter_.await(g);
+    if (leasable) {
+      const GlobalCount last = state.cursor.interval_last();
+      counter_.lease_begin(g, last);
+      state.lease_active = true;
+      state.lease_end = last;
+      state.lease_next_publish = g + config_.tuning.lease_publish_stride;
+    }
     return g;
+  } catch (const sched::ReportedDivergenceError&) {
+    throw;  // already enriched
+  } catch (const ReplayDivergenceError& e) {
+    // Enrich the string-only cursor/counter error with the thread's full
+    // replay position (forensics) and rethrow structured.
+    throw_divergence(make_divergence_report(state, e.cause(), e.what(),
+                                            event_known, kind, conflict));
   }
-  if (state.lease_active) {
-    // Within the lease the turn is already ours: every event in
-    // [lease start, lease_end] belongs to this thread (interval = maximal
-    // consecutive run), so no other thread may run until we publish.
-    // Awaiting here would deadlock — the published counter lags our local
-    // progress until the next stride publication.
-    return g;
-  }
-  counter_.await(g);
-  if (leasable) {
-    const GlobalCount last = state.cursor.interval_last();
-    counter_.lease_begin(g, last);
-    state.lease_active = true;
-    state.lease_end = last;
-    state.lease_next_publish = g + config_.tuning.lease_publish_stride;
-  }
-  return g;
 }
 
 void Vm::replay_turn_done(sched::ThreadState& state, GlobalCount g) {
@@ -405,7 +507,9 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
       // drop any active lease, then run the per-event protocol.
       const bool exact = conflict == kGlobalConflict;
       if (exact) lease_quiesce(state);
-      const GlobalCount g = replay_turn_wait(state, /*leasable=*/!exact);
+      const GlobalCount g = replay_turn_wait(state, /*leasable=*/!exact,
+                                             /*event_known=*/true, kind,
+                                             conflict);
       std::exception_ptr raised;
       try {
         if (body) aux = body(g);

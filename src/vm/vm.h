@@ -38,6 +38,7 @@
 #include "net/network.h"
 #include "record/log_spool.h"
 #include "record/vm_log.h"
+#include "sched/divergence.h"
 #include "sched/global_counter.h"
 #include "sched/thread_registry.h"
 #include "sched/trace.h"
@@ -223,6 +224,21 @@ class Vm {
   /// Replay-side log access (nullptr outside replay).
   const record::VmLog* replay_log() const { return replay_log_.get(); }
 
+  /// Every structured divergence report this VM's threads produced (replay
+  /// forensics).  One failed replay typically yields one affirmative report
+  /// plus one stall/poisoned victim report per sibling thread; the session
+  /// selects the most blameworthy across VMs with sched::precedes.
+  std::vector<sched::DivergenceReport> divergence_reports() const;
+
+  /// Raises a divergence from a replay gateway outside the turn machinery
+  /// (network outcomes irreconcilable with the log): builds the structured
+  /// report from the calling thread's state, records it, and throws
+  /// sched::ReportedDivergenceError.  Replay mode only.
+  [[noreturn]] void replay_divergence(sched::EventKind kind,
+                                      const std::string& what,
+                                      ConflictKey conflict =
+                                          kThreadLocalConflict);
+
   /// Record-side network log (append target).  Socket/system APIs must not
   /// append here directly — they go through log_network_entry() so spooled
   /// runs stream the entry to disk instead of accumulating it.
@@ -331,7 +347,26 @@ class Vm {
   /// (when `leasable`); turns within an active lease return immediately —
   /// no atomics, no mutex.  `leasable` is false for events that need the
   /// published counter exact (kGlobalConflict), which run per-event.
-  GlobalCount replay_turn_wait(sched::ThreadState& state, bool leasable);
+  /// A ReplayDivergenceError from the cursor or counter is enriched here
+  /// into a ReportedDivergenceError carrying the thread's DivergenceReport
+  /// (`event_known`/`kind`/`conflict` describe the attempted event when the
+  /// caller knows it).
+  GlobalCount replay_turn_wait(sched::ThreadState& state, bool leasable,
+                               bool event_known = false,
+                               sched::EventKind kind =
+                                   sched::EventKind::kSharedRead,
+                               ConflictKey conflict = kThreadLocalConflict);
+
+  /// Builds the structured report for a divergence of `state`'s thread from
+  /// its thread-local replay position (cursor, lease, recent-event ring).
+  sched::DivergenceReport make_divergence_report(
+      const sched::ThreadState& state, DivergenceCause cause,
+      const std::string& detail, bool event_known, sched::EventKind kind,
+      ConflictKey conflict) const;
+
+  /// Records `report` for session-level selection and throws it as a
+  /// ReportedDivergenceError whose message starts with `detail`.
+  [[noreturn]] void throw_divergence(sched::DivergenceReport report);
 
   /// Replay: completes event `g` — within a lease, thread-local
   /// bookkeeping with stride publication and a single interval-end
@@ -366,6 +401,13 @@ class Vm {
   std::shared_ptr<const record::VmLog> replay_log_;
 
   sched::GlobalCounter counter_;
+
+  /// Structured reports of every divergence any of this VM's threads hit
+  /// (replay).  Threads append at throw time — before unwinding can race
+  /// with joins — so the session reads a complete set after joining.
+  mutable std::mutex divergence_mutex_;
+  std::vector<sched::DivergenceReport> divergences_;
+
   std::mutex chaos_mutex_;
   std::unique_ptr<Xoshiro256> chaos_rng_;
   sched::ThreadRegistry registry_;

@@ -179,6 +179,151 @@ TEST(Divergence, VerifyCatchesCrossRunMismatch) {
   EXPECT_THROW(core::verify(rec_a, rec_b), ReplayDivergenceError);
 }
 
+// Removes the last `k` recorded critical events from a thread's interval
+// list, returning the gc values that were removed (ascending).
+std::vector<GlobalCount> truncate_tail(sched::IntervalList& list,
+                                       GlobalCount k) {
+  std::vector<GlobalCount> removed;
+  while (k > 0 && !list.empty()) {
+    auto& iv = list.back();
+    if (iv.length() <= k) {
+      for (GlobalCount g = iv.first; g <= iv.last; ++g) removed.push_back(g);
+      k -= iv.length();
+      list.pop_back();
+    } else {
+      for (GlobalCount g = iv.last - k + 1; g <= iv.last; ++g) {
+        removed.push_back(g);
+      }
+      iv.last -= k;
+      k = 0;
+    }
+  }
+  std::sort(removed.begin(), removed.end());
+  return removed;
+}
+
+GlobalCount total_events(const sched::IntervalList& list) {
+  GlobalCount n = 0;
+  for (const auto& iv : list) n += iv.length();
+  return n;
+}
+
+// The forensics acceptance matrix: an injected divergence (a worker's
+// recorded tail truncated by 3 events) must yield a DivergenceReport whose
+// thread, expected interval and counter position match the injection point
+// in every tuning mode — {leasing on/off} x {sharding on/off}.  The blamed
+// thread attempts events beyond its (tampered) schedule, which is an
+// affirmative kBeyondSchedule in blame order regardless of which victim
+// thread's stall or poison unwound first.
+TEST(Divergence, ReportMatchesInjectionAcrossTuningModes) {
+  constexpr ThreadNum kVictim = 2;
+  constexpr GlobalCount kCut = 3;
+  for (const bool leasing : {false, true}) {
+    for (const bool sharding : {false, true}) {
+      core::SessionConfig cfg;
+      cfg.tuning.stall_timeout = std::chrono::milliseconds(400);
+      cfg.tuning.replay_leasing = leasing;
+      cfg.tuning.record_sharding = sharding;
+      Session s(cfg);
+      s.add_vm("app", 1, true, [](vm::Vm& v) {
+        vm::SharedVar<std::uint64_t> x(v, 0);
+        std::vector<vm::VmThread> threads;
+        for (int t = 0; t < 3; ++t) {
+          threads.emplace_back(v, [&x] {
+            for (int i = 0; i < 50; ++i) x.set(x.get() + 1);
+          });
+        }
+        for (auto& t : threads) t.join();
+      });
+      auto rec = s.record(21);
+      auto logs = logs_of(rec);
+      auto& victim_list = logs[0].schedule.per_thread[kVictim];
+      const GlobalCount recorded = total_events(victim_list);
+      ASSERT_GT(recorded, kCut);
+      const std::vector<GlobalCount> removed =
+          truncate_tail(victim_list, kCut);
+      ASSERT_EQ(removed.size(), kCut);
+      ASSERT_FALSE(victim_list.empty());
+      const sched::LogicalInterval tampered_last = victim_list.back();
+
+      try {
+        s.replay_logs(logs, 22);
+        FAIL() << "tampered log replayed cleanly (leasing=" << leasing
+               << " sharding=" << sharding << ")";
+      } catch (const sched::ReportedDivergenceError& e) {
+        const sched::DivergenceReport& r = e.report();
+        // The report names the injection point, in every mode.
+        EXPECT_EQ(r.cause, DivergenceCause::kBeyondSchedule)
+            << "leasing=" << leasing << " sharding=" << sharding;
+        EXPECT_EQ(r.thread, kVictim);
+        EXPECT_TRUE(r.affirmative());
+        EXPECT_TRUE(r.schedule_exhausted);
+        ASSERT_TRUE(r.has_interval);
+        EXPECT_EQ(r.expected_interval, tampered_last);
+        EXPECT_EQ(r.thread_events_replayed, recorded - kCut);
+        EXPECT_EQ(r.divergence_gc(), tampered_last.last + 1);
+        // The recent-event ring ends at the victim's last replayed event.
+        ASSERT_FALSE(r.recent.empty());
+        EXPECT_EQ(r.recent.back().gc, tampered_last.last);
+        EXPECT_EQ(r.recent.back().thread, kVictim);
+        // The run's pooled reports are blame-ordered: affirmative first.
+        ASSERT_FALSE(e.all_reports().empty());
+        EXPECT_TRUE(e.all_reports().front().affirmative());
+      }
+    }
+  }
+}
+
+// Deterministic multi-VM blame: when two independent DJVMs both diverge,
+// the session must select the report with the LOWEST divergence position,
+// not whichever VM's thread unwound first.
+TEST(Divergence, MultiVmSelectsLowestGcDivergence) {
+  core::SessionConfig cfg;
+  cfg.tuning.stall_timeout = std::chrono::milliseconds(400);
+  Session s(cfg);
+  for (const char* name : {"a", "b"}) {
+    s.add_vm(name, name[0] == 'a' ? 1 : 2, true, [](vm::Vm& v) {
+      vm::SharedVar<std::uint64_t> x(v, 0);
+      std::vector<vm::VmThread> threads;
+      for (int t = 0; t < 2; ++t) {
+        threads.emplace_back(v, [&x] {
+          for (int i = 0; i < 30; ++i) x.set(x.get() + 1);
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+  }
+  auto rec = s.record(31);
+  auto logs = logs_of(rec);
+  ASSERT_EQ(logs.size(), 2u);
+
+  // Cut VM a's thread-1 tail shallowly and VM b's deeply: b diverges at a
+  // lower counter position, so blame must land on b whichever VM finishes
+  // unwinding first.
+  GlobalCount expected_gc[2] = {0, 0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& list = logs[i].schedule.per_thread[1];
+    truncate_tail(list, i == 0 ? 2 : 20);
+    ASSERT_FALSE(list.empty());
+    expected_gc[i] = list.back().last + 1;
+  }
+  ASSERT_LT(expected_gc[1], expected_gc[0]);
+
+  try {
+    s.replay_logs(logs, 32);
+    FAIL() << "tampered logs replayed cleanly";
+  } catch (const sched::ReportedDivergenceError& e) {
+    EXPECT_EQ(e.report().vm_id, logs[1].vm_id);
+    EXPECT_EQ(e.report().vm_name, "b");
+    EXPECT_EQ(e.report().divergence_gc(), expected_gc[1]);
+    EXPECT_EQ(e.report().cause, DivergenceCause::kBeyondSchedule);
+    // Both VMs are represented in the pooled reports.
+    bool saw_a = false;
+    for (const auto& r : e.all_reports()) saw_a = saw_a || (r.vm_name == "a");
+    EXPECT_TRUE(saw_a);
+  }
+}
+
 TEST(Divergence, CorruptFileNeverReplays) {
   auto s = counter_app(nullptr);
   auto rec = s.record(13);

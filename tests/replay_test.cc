@@ -247,6 +247,77 @@ TEST(DatagramReplayer, FetchesUntilMatch) {
   EXPECT_EQ(r.buffered(), 4u);  // 0,1,2 buffered + 3 retained
 }
 
+// Mirror of ConnectionPool.FetchExceptionHandsOffToOtherWaiter: when the
+// thread holding the replayer's fetcher role throws (e.g. a closed
+// socket), a parked waiter must take the role over instead of waiting
+// forever, and every recorded receive must still complete.
+TEST(DatagramReplayer, FetchExceptionHandsOffToOtherWaiter) {
+  DatagramReplayer r;
+  std::mutex m;
+  int calls = 0;
+  auto fetch = [&]() -> std::pair<DgNetworkEventId, Bytes> {
+    std::unique_lock<std::mutex> lock(m);
+    const int n = calls++;
+    if (n == 0) {
+      // Give the other thread time to park on the replayer before failing,
+      // so the failure exercises the handoff (not just early-exit) path.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      throw Error("transient receive failure");
+    }
+    DgNetworkEventId id{1, static_cast<GlobalCount>(n - 1)};
+    return {id, Bytes{static_cast<std::uint8_t>(n - 1)}};
+  };
+  std::atomic<int> got{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      DgNetworkEventId want{1, static_cast<GlobalCount>(i)};
+      for (;;) {
+        try {
+          Bytes b = r.await(want, fetch);
+          ASSERT_EQ(b.size(), 1u);
+          EXPECT_EQ(b[0], static_cast<std::uint8_t>(i));
+          ++got;
+          return;
+        } catch (const Error&) {
+          ++failures;  // this caller's own fetch raised: retry the receive
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(got.load(), 2);
+  EXPECT_EQ(failures.load(), 1);  // only the failing fetcher saw the error
+}
+
+// Bounded residency: with recorded delivery counts configured, an entry is
+// pruned the moment its last recorded delivery is served, and arrivals the
+// log never names are dropped instead of buffered — the buffer holds only
+// ids with outstanding recorded deliveries.
+TEST(DatagramReplayer, PrunesExhaustedEntries) {
+  DatagramReplayer r;
+  r.set_recorded_deliveries({{DgNetworkEventId{1, 5}, 2},
+                             {DgNetworkEventId{1, 7}, 1}});
+  auto nofetch = []() -> std::pair<DgNetworkEventId, Bytes> {
+    throw Error("no fetch needed");
+  };
+  r.put({1, 5}, to_bytes("five"));
+  r.put({1, 7}, to_bytes("seven"));
+  r.put({1, 9}, to_bytes("never-delivered"));  // not in the log: dropped
+  EXPECT_EQ(r.buffered(), 2u);
+  EXPECT_EQ(r.dropped(), 1u);
+
+  EXPECT_EQ(to_string(r.await({1, 5}, nofetch)), "five");  // 1st of 2
+  EXPECT_EQ(r.buffered(), 2u);  // retained for the recorded duplicate
+  EXPECT_EQ(to_string(r.await({1, 5}, nofetch)), "five");  // last recorded
+  EXPECT_EQ(r.buffered(), 1u);  // pruned on exhaustion
+  EXPECT_EQ(to_string(r.await({1, 7}, nofetch)), "seven");
+  EXPECT_EQ(r.buffered(), 0u);  // residency assertion: nothing lingers
+  EXPECT_EQ(r.dropped(), 3u);
+}
+
 TEST(ReliableUdp, DeliversDespiteHeavyLoss) {
   net::NetworkConfig cfg;
   cfg.seed = 4;
