@@ -8,10 +8,24 @@
 // (one counter publication per logical schedule interval instead of one
 // per critical event — docs/INTERNALS.md §1b).
 //
+// A second section measures causal partial-order replay (order_mode =
+// causal, docs/INTERNALS.md §1d) on a key-independent workload: each worker
+// thread hammers its own SharedVar (plus an occasional shared tally), with
+// the total work fixed so more threads means less work per thread.  Total-
+// order replay serializes those events regardless of thread count; causal
+// replay only orders same-key events, so its wall-clock should drop as
+// threads grow.  The same causal recording is replayed under both modes —
+// a causal log carries the full total order too — making the comparison
+// exact: identical recording, identical digest, different turn protocol.
+//
 // Flags (mirroring bench_table1_closed's `--no-sharding` convention):
 //   --no-lease   measure only the per-event protocol (ablation baseline);
+//   --no-causal  skip the causal section;
 //   --smoke      small grid, and exit nonzero if leased replay is >10%
-//                slower than non-leased — the CI regression tripwire.
+//                slower than non-leased, or if causal replay of the
+//                key-independent workload is >10% slower than leased
+//                total-order replay on a multi-core host — the CI
+//                regression tripwires.
 //
 // Emits BENCH_replay_speed.json.
 
@@ -64,13 +78,61 @@ ReplayMeasurement measure_replay(core::Session& s, const core::RunResult& rec,
   return best;
 }
 
+// --- causal section ---------------------------------------------------------
+
+/// Key-independent workload: `threads` workers, each with a private
+/// SharedVar (its own conflict key) plus a shared tally touched every
+/// `kTallyEvery` iterations.  Total iterations are fixed — divided among the
+/// threads — so the serial replay time is roughly constant per row while the
+/// causal critical path shrinks with thread count.
+void causal_app(vm::Vm& v, int threads, int total_iters) {
+  constexpr int kTallyEvery = 64;
+  // Real computation between critical events: total-order replay serializes
+  // this along with the events themselves (every compute block sits between
+  // two turns), while causal replay overlaps independent threads' blocks —
+  // the compute, not the turn protocol, is what parallelism wins back.
+  constexpr int kLocalWork = 96;
+  std::vector<std::unique_ptr<vm::SharedVar<std::uint64_t>>> privates;
+  privates.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    privates.push_back(std::make_unique<vm::SharedVar<std::uint64_t>>(v, 0));
+  }
+  vm::SharedVar<std::uint64_t> tally(v, 0);
+  const int iters = total_iters / threads;
+  std::vector<vm::VmThread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(v, [&, t] {
+      auto& mine = *privates[static_cast<std::size_t>(t)];
+      for (int i = 0; i < iters; ++i) {
+        mine.set(mine.get() + bench::local_compute(mine.get(), kLocalWork));
+        if (i % kTallyEvery == 0) tally.set(tally.get() + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+core::Session make_causal_session(int threads, int total_iters,
+                                  OrderMode mode) {
+  core::SessionConfig cfg;
+  cfg.tuning.order_mode = mode;
+  core::Session s(cfg);
+  s.add_vm("app", 1, true, [threads, total_iters](vm::Vm& v) {
+    causal_app(v, threads, total_iters);
+  });
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool leasing = true;
+  bool causal = true;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-lease") == 0) leasing = false;
+    if (std::strcmp(argv[i], "--no-causal") == 0) causal = false;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
@@ -176,6 +238,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<Json> causal_records;
+  if (causal) {
+    std::printf("\nCausal partial-order replay (key-independent workload, "
+                "fixed total work)\n\n");
+    std::printf("%9s %11s %12s %12s %9s\n", "#threads", "record(s)",
+                "total rp(s)", "causal rp(s)", "speedup");
+
+    const int total_iters = smoke ? 12000 : 60000;
+    const bool multi_core = std::thread::hardware_concurrency() >= 2;
+    for (int threads : grid) {
+      // One causal recording; the same log replays under both protocols
+      // (a causal log carries the full total order too).
+      core::Session s_causal =
+          make_causal_session(threads, total_iters, OrderMode::kCausal);
+      core::Session s_total =
+          make_causal_session(threads, total_iters, OrderMode::kTotal);
+      double recorded = 1e100;
+      core::RunResult rec;
+      for (int i = 0; i < reps; ++i) {
+        auto r = s_causal.record(500 + i);
+        if (r.wall_seconds < recorded) {
+          recorded = r.wall_seconds;
+          rec = std::move(r);
+        }
+      }
+      ReplayMeasurement total_rp = measure_replay(s_total, rec, reps, 700);
+      ReplayMeasurement causal_rp = measure_replay(s_causal, rec, reps, 800);
+
+      const double speedup = total_rp.seconds / causal_rp.seconds;
+      std::printf("%9d %11.4f %12.4f %12.4f %8.2fx\n", threads, recorded,
+                  total_rp.seconds, causal_rp.seconds, speedup);
+
+      if (smoke && multi_core &&
+          causal_rp.seconds > 1.10 * total_rp.seconds) {
+        std::printf("  TRIPWIRE: causal replay %.4fs is >10%% slower than "
+                    "leased total-order replay %.4fs at %d threads\n",
+                    causal_rp.seconds, total_rp.seconds, threads);
+        tripwire = true;
+      }
+
+      causal_records.push_back(
+          Json::object()
+              .field("threads", threads)
+              .field("record_s", recorded)
+              .field("replay_total_order_s", total_rp.seconds)
+              .field("replay_causal_s", causal_rp.seconds)
+              .field("causal_speedup", speedup)
+              .field("causal_parked_waits", causal_rp.sum.waits_parked));
+    }
+  }
+
   Json root =
       Json::object()
           .field("bench", "replay_speed")
@@ -185,9 +298,11 @@ int main(int argc, char** argv) {
                             static_cast<std::uint64_t>(
                                 std::thread::hardware_concurrency()))
                      .field("leasing", leasing)
+                     .field("causal", causal)
                      .field("smoke", smoke)
                      .field("reps", reps))
-          .field("results", records);
+          .field("results", records)
+          .field("causal_results", causal_records);
   write_bench_json("BENCH_replay_speed.json", root);
   return tripwire ? 1 : 0;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -11,19 +12,44 @@
 
 namespace djvu {
 
+/// Why a timed pop returned without an element: pop_for() callers must be
+/// able to tell "nothing arrived yet, retry" from "the queue is closed and
+/// drained, stop retrying" — collapsing both into nullopt let shutdown races
+/// spin forever on a dead queue.
+enum class QueuePopStatus : std::uint8_t {
+  kItem,      ///< An element was dequeued.
+  kTimedOut,  ///< Timeout expired; the queue is still open.
+  kClosed,    ///< Closed and drained; no element will ever arrive.
+};
+
 /// MPMC FIFO.  pop() blocks until an element is available or the queue is
-/// closed; push() after close() is ignored.  All methods are thread-safe.
+/// closed; push() after close() refuses the element (returns false) instead
+/// of silently discarding it.  All methods are thread-safe.
 template <typename T>
 class BlockingQueue {
  public:
-  /// Enqueues an element and wakes one waiter.  No-op after close().
-  void push(T value) {
+  /// Outcome of a timed pop: `item` is engaged exactly when `status` is
+  /// kItem.
+  struct TimedPop {
+    QueuePopStatus status = QueuePopStatus::kTimedOut;
+    std::optional<T> item;
+  };
+
+  /// Enqueues an element and wakes one waiter.  Returns false (and counts
+  /// the element as dropped) when the queue is already closed — the caller
+  /// decides whether a refused element is a benign shutdown race or a lost
+  /// delivery worth reporting; the queue no longer swallows it silently.
+  [[nodiscard]] bool push(T value) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return;
+      if (closed_) {
+        ++dropped_;
+        return false;
+      }
       items_.push_back(std::move(value));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an element is available (returns it) or the queue is
@@ -46,23 +72,25 @@ class BlockingQueue {
     return v;
   }
 
-  /// Blocks until an element is available, the queue is closed, or the
-  /// predicate-free timeout expires; nullopt on timeout/close-and-drained.
+  /// Blocks until an element is available, the queue is closed and drained,
+  /// or the timeout expires — and says which happened.  Remaining elements
+  /// of a closed queue still drain (status kItem) before kClosed is
+  /// reported.
   template <typename Rep, typename Period>
-  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+  TimedPop pop_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (!cv_.wait_for(lock, timeout,
                       [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+      return TimedPop{QueuePopStatus::kTimedOut, std::nullopt};
     }
-    if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
+    if (items_.empty()) return TimedPop{QueuePopStatus::kClosed, std::nullopt};
+    TimedPop out{QueuePopStatus::kItem, std::move(items_.front())};
     items_.pop_front();
-    return v;
+    return out;
   }
 
   /// Closes the queue: pending and future pops drain remaining elements then
-  /// return nullopt; future pushes are dropped.
+  /// report closed; future pushes are refused.
   void close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -83,11 +111,18 @@ class BlockingQueue {
     return items_.size();
   }
 
+  /// Elements refused by push() because the queue was already closed.
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace djvu

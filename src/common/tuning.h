@@ -17,6 +17,28 @@
 
 namespace djvu {
 
+/// Which order the record phase captures and the replay phase enforces.
+///
+///   kTotal  — the paper's scheme: one global counter totally orders every
+///             critical event; replay is a single serialized turn protocol
+///             (amortized by interval leasing).  The paper-faithful
+///             baseline, and the only mode checkpoints support.
+///   kCausal — causal partial-order mode: each conflict key additionally
+///             keeps its own sequence number, logged per event; replay
+///             blocks a thread only until its predecessor on that key has
+///             published, so independent keys replay fully in parallel
+///             (docs/INTERNALS.md §1d).  A causal recording still carries
+///             the total order and replays under either mode; a total-order
+///             recording cannot replay causally (no per-key data).
+enum class OrderMode : std::uint8_t {
+  kTotal = 0,
+  kCausal = 1,
+};
+
+inline const char* order_mode_name(OrderMode m) {
+  return m == OrderMode::kCausal ? "causal" : "total";
+}
+
 /// Shared record/replay tuning knobs (see vm::VmConfig for the semantics of
 /// each; the doc comments there are authoritative for how the VM consumes
 /// them).
@@ -37,6 +59,10 @@ struct TuningConfig {
 
   /// Events between intra-lease counter publications (replay_leasing only).
   GlobalCount lease_publish_stride = 1024;
+
+  /// Record/replay ordering scheme (see OrderMode above).  kCausal must be
+  /// set on *both* sides: record logs per-key seqs, replay consumes them.
+  OrderMode order_mode = OrderMode::kTotal;
 
   /// Record-phase schedule fuzzing probability; each VM derives its own
   /// chaos stream from the network seed and its id.

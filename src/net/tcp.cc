@@ -243,15 +243,22 @@ std::shared_ptr<TcpConnection> TcpListener::accept() {
 }
 
 std::shared_ptr<TcpConnection> TcpListener::accept_for(Duration timeout) {
-  auto conn = backlog_.pop_for(timeout);
-  if (!conn) {
-    if (backlog_.closed()) {
-      throw NetError(NetErrorCode::kSocketClosed,
-                     "accept on closed listener " + to_string(addr_));
-    }
-    return nullptr;
+  // The tagged pop distinguishes a genuine timeout (listener still open,
+  // caller may retry) from closed-and-drained (throw, exactly like the
+  // untimed accept).  The old nullopt-for-both protocol misreported a
+  // timeout as "closed" whenever close() slipped in between the pop and a
+  // separate closed() re-check.
+  auto got = backlog_.pop_for(timeout);
+  switch (got.status) {
+    case QueuePopStatus::kItem:
+      return *std::move(got.item);
+    case QueuePopStatus::kTimedOut:
+      return nullptr;
+    case QueuePopStatus::kClosed:
+      break;
   }
-  return *conn;
+  throw NetError(NetErrorCode::kSocketClosed,
+                 "accept on closed listener " + to_string(addr_));
 }
 
 }  // namespace djvu::net

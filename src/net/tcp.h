@@ -197,13 +197,15 @@ class TcpListener {
   std::size_t backlog_size() const { return backlog_.size(); }
 
   /// Network-internal: delivers a newly established server-side endpoint.
-  /// Returns false (refusal) when the backlog is full.
+  /// Returns false (refusal) when the backlog is full — or when the
+  /// listener closed concurrently (the queue refuses the push), so a
+  /// connect racing a close gets a refusal instead of a connection that was
+  /// silently dropped on the floor.
   bool enqueue(std::shared_ptr<TcpConnection> conn) {
     if (backlog_.size() >= static_cast<std::size_t>(backlog_limit_)) {
       return false;
     }
-    backlog_.push(std::move(conn));
-    return true;
+    return backlog_.push(std::move(conn));
   }
 
  private:

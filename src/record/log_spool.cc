@@ -155,6 +155,30 @@ SpoolFinish decode_finish_item(BytesView body) {
   return finish;
 }
 
+Bytes encode_causal_item(ThreadNum thread,
+                         const std::vector<std::uint64_t>& seqs) {
+  // Raw varints: the per-thread seq stream is per-key monotone but
+  // interleaved across keys, so no cross-entry delta applies.  Each item is
+  // self-contained, like every other kind.
+  ByteWriter w;
+  w.varint(thread);
+  w.varint(seqs.size());
+  for (std::uint64_t s : seqs) w.varint(s);
+  return w.take();
+}
+
+std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_item(
+    BytesView body) {
+  ByteReader r(body);
+  const auto thread = static_cast<ThreadNum>(r.varint());
+  const std::uint64_t n = r.varint();
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) seqs.push_back(r.varint());
+  if (!r.at_end()) throw LogFormatError("trailing bytes in causal item");
+  return {thread, std::move(seqs)};
+}
+
 // --- LogSpooler -------------------------------------------------------------
 
 LogSpooler::LogSpooler(DjvmId vm_id, Options options)
@@ -206,6 +230,13 @@ void LogSpooler::trace_batch(std::vector<sched::TraceRecord> records) {
   // recording thread pays only for the vector handoff here.
   Item item{SpoolItemKind::kTrace, {}, std::move(records)};
   enqueue(std::move(item));
+}
+
+void LogSpooler::causal_batch(ThreadNum thread,
+                              const std::vector<std::uint64_t>& seqs) {
+  if (seqs.empty()) return;
+  enqueue({SpoolItemKind::kCausal, encode_causal_item(thread, seqs),
+           /*records=*/{}, /*own_chunk=*/false});
 }
 
 void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
@@ -475,7 +506,8 @@ std::optional<SpoolItem> LogSource::next_spool_item() {
     ByteReader r(BytesView(chunk_).subspan(chunk_pos_));
     SpoolItem item;
     const std::uint8_t kind = r.u8();
-    if (kind < 1 || kind > 4) {
+    if (kind < static_cast<std::uint8_t>(SpoolItemKind::kSchedule) ||
+        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausal)) {
       throw LogFormatError("unknown spool item kind " + std::to_string(kind));
     }
     item.kind = static_cast<SpoolItemKind>(kind);
@@ -571,11 +603,25 @@ void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
                             records.end());
       break;
     }
+    case SpoolItemKind::kCausal: {
+      auto [thread, seqs] = decode_causal_item(item.body);
+      auto& per_thread = log.causal.per_thread;
+      if (per_thread.size() <= thread) per_thread.resize(thread + 1);
+      auto& dst = per_thread[thread];
+      // Same FIFO argument as schedule batches: one thread's causal batches
+      // arrive in program order, so appending reconstructs its seq list.
+      dst.insert(dst.end(), seqs.begin(), seqs.end());
+      break;
+    }
     case SpoolItemKind::kFinish: {
       const SpoolFinish finish = decode_finish_item(item.body);
       log.stats = finish.stats;
       if (log.schedule.per_thread.size() < finish.thread_count) {
         log.schedule.per_thread.resize(finish.thread_count);
+      }
+      if (!log.causal.per_thread.empty() &&
+          log.causal.per_thread.size() < finish.thread_count) {
+        log.causal.per_thread.resize(finish.thread_count);
       }
       break;
     }

@@ -60,6 +60,12 @@ enum class SpoolItemKind : std::uint8_t {
   kNetwork = 2,   ///< one network log entry (thread + entry)
   kTrace = 3,     ///< one thread's batch of execution-trace records
   kFinish = 4,    ///< end-of-recording stats; marks a clean end
+  /// One thread's batch of causal per-key seqs (order_mode = causal), in
+  /// that thread's program order.  Added after DJVUSPL1 shipped; the file
+  /// version stays 1 because total-order spools never contain this kind,
+  /// so every pre-causal file remains readable, and pre-causal readers
+  /// never meet a causal spool they recorded themselves.
+  kCausal = 5,
 };
 
 /// One decoded item streamed out of a spool (or trace) file.
@@ -86,6 +92,10 @@ Bytes encode_trace_item(const std::vector<sched::TraceRecord>& records);
 std::vector<sched::TraceRecord> decode_trace_item(BytesView body);
 Bytes encode_finish_item(const SpoolFinish& finish);
 SpoolFinish decode_finish_item(BytesView body);
+Bytes encode_causal_item(ThreadNum thread,
+                         const std::vector<std::uint64_t>& seqs);
+std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_item(
+    BytesView body);
 
 /// Self-measurements of one spooler run (snapshot; never blocks the
 /// writer).
@@ -132,6 +142,15 @@ class LogSink {
   /// path, on the writer thread.
   virtual void trace_batch(std::vector<sched::TraceRecord> records) = 0;
 
+  /// A batch of `thread`'s causal per-key seqs in program order (causal
+  /// order mode only; same caller discipline as schedule_batch).  Default
+  /// no-op so total-order-era sinks keep compiling unchanged.
+  virtual void causal_batch(ThreadNum thread,
+                            const std::vector<std::uint64_t>& seqs) {
+    (void)thread;
+    (void)seqs;
+  }
+
   /// End of recording: final stats and the number of threads created.
   virtual void finish(const RecordStats& stats, std::uint32_t thread_count) = 0;
 };
@@ -166,6 +185,8 @@ class LogSpooler : public LogSink {
                       const sched::IntervalList& intervals) override;
   void network_entry(ThreadNum thread, const NetworkLogEntry& entry) override;
   void trace_batch(std::vector<sched::TraceRecord> records) override;
+  void causal_batch(ThreadNum thread,
+                    const std::vector<std::uint64_t>& seqs) override;
   void finish(const RecordStats& stats, std::uint32_t thread_count) override;
 
   /// Drains the queue, seals the final chunk, joins the writer and closes

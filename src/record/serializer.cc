@@ -9,7 +9,11 @@ namespace djvu::record {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'J', 'V', 'U', 'L', 'O', 'G', '1'};
+// v1: schedule + network sections.  v2 appends the causal section (per-key
+// seqs, order_mode = causal).  Total-order logs still serialize as v1 —
+// bit-identical to what older readers expect — and both versions load.
 constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersionCausal = 2;
 
 // Entry field presence flags.
 enum : std::uint8_t {
@@ -70,9 +74,10 @@ NetworkLogEntry read_network_entry(ByteReader& r) {
 }
 
 Bytes serialize(const VmLog& log) {
+  const bool has_causal = !log.causal.empty();
   ByteWriter w;
   w.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
-  w.u16(kVersion);
+  w.u16(has_causal ? kVersionCausal : kVersion);
   w.u32(log.vm_id);
   w.varint(log.stats.critical_events);
   w.varint(log.stats.network_events);
@@ -97,6 +102,17 @@ Bytes serialize(const VmLog& log) {
     w.varint(t);
     w.varint(entries.size());
     for (const auto& e : entries) write_network_entry(w, e);
+  }
+
+  // Causal section (v2 only): per-thread per-event per-key seqs.  Raw
+  // varints — the sequence is per-key monotone but interleaved across keys,
+  // so there is no global delta to exploit; most seqs are small anyway.
+  if (has_causal) {
+    w.varint(log.causal.per_thread.size());
+    for (const auto& list : log.causal.per_thread) {
+      w.varint(list.size());
+      for (std::uint64_t s : list) w.varint(s);
+    }
   }
 
   std::uint32_t crc = crc32(w.view());
@@ -124,7 +140,7 @@ VmLog deserialize(BytesView data) {
     throw LogFormatError("bad magic: not a DJVULOG bundle");
   }
   std::uint16_t version = r.u16();
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionCausal) {
     throw LogFormatError("unsupported log version " + std::to_string(version));
   }
 
@@ -154,6 +170,16 @@ VmLog deserialize(BytesView data) {
     std::uint64_t n = r.varint();
     for (std::uint64_t j = 0; j < n; ++j) {
       log.network.append(t, read_network_entry(r));
+    }
+  }
+  if (version >= kVersionCausal) {
+    std::uint64_t causal_threads = r.varint();
+    log.causal.per_thread.resize(causal_threads);
+    for (std::uint64_t t = 0; t < causal_threads; ++t) {
+      std::uint64_t n = r.varint();
+      auto& list = log.causal.per_thread[t];
+      list.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) list.push_back(r.varint());
     }
   }
   if (!r.at_end()) {

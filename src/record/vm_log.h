@@ -35,6 +35,36 @@ struct ScheduleLog {
   }
 };
 
+/// Per-thread per-event conflict-key sequence numbers, recorded only in
+/// causal order mode (tuning.order_mode = kCausal): entry i of thread t's
+/// list is the per-key seq of that thread's i-th critical event, in program
+/// order.  Together with the schedule (which still carries the total-order
+/// gc), this is the causal partial order replay enforces — conflict keys
+/// themselves are never logged (they are run-specific addresses); replay
+/// re-derives them by induction on program order (docs/INTERNALS.md §1d).
+/// Empty for total-order recordings.
+struct CausalLog {
+  std::vector<std::vector<std::uint64_t>> per_thread;
+
+  friend bool operator==(const CausalLog&, const CausalLog&) = default;
+
+  /// True when no thread recorded any causal entry (total-order recording).
+  bool empty() const {
+    for (const auto& list : per_thread) {
+      if (!list.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Total causal entries across all threads (== critical events when
+  /// recorded causally).
+  std::uint64_t event_count() const {
+    std::uint64_t n = 0;
+    for (const auto& list : per_thread) n += list.size();
+    return n;
+  }
+};
+
 /// Summary statistics gathered during record (drives the Tables 1/2 rows).
 struct RecordStats {
   /// Final global counter value == number of critical events (§2.2).
@@ -55,6 +85,8 @@ struct VmLog {
 
   ScheduleLog schedule;
   NetworkLog network;
+  /// Causal-mode partial order (empty for total-order recordings).
+  CausalLog causal;
   RecordStats stats;
 };
 

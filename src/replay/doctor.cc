@@ -12,29 +12,37 @@ namespace {
 /// Half-width of the context window around the divergence position.
 constexpr GlobalCount kContextWindow = 16;
 
-std::string locate_spool_file(const sched::DivergenceReport& d,
-                              const std::string& path) {
+/// All spool files that could belong to the diverged VM.  A name match is
+/// authoritative (one candidate); the vm-id header scan is not — ids repeat
+/// across runs sharing a spool dir, so every match is returned and the
+/// caller reports >1 as an ambiguity instead of silently picking one.
+std::vector<std::string> locate_spool_files(const sched::DivergenceReport& d,
+                                            const std::string& path) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(path, ec)) {
-    return fs::exists(path, ec) ? path : std::string();
+    if (fs::exists(path, ec)) return {path};
+    return {};
   }
   if (!d.vm_name.empty()) {
     const std::string named = path + "/" + d.vm_name + ".djvuspool";
-    if (fs::exists(named, ec)) return named;
+    if (fs::exists(named, ec)) return {named};
   }
   // Fall back to matching the VM id in each spool header (one header read
   // per candidate — LogSource decodes lazily).
+  std::vector<std::string> matches;
   for (const auto& entry : fs::directory_iterator(path, ec)) {
     if (entry.path().extension() != ".djvuspool") continue;
     try {
       record::LogSource source(entry.path().string());
-      if (source.vm_id() == d.vm_id) return entry.path().string();
+      if (source.vm_id() == d.vm_id) matches.push_back(entry.path().string());
     } catch (const Error&) {
       // Unreadable candidate — keep scanning.
     }
   }
-  return std::string();
+  // directory_iterator order is filesystem-dependent; make reports stable.
+  std::sort(matches.begin(), matches.end());
+  return matches;
 }
 
 void note(DoctorReport& rep, std::string text) {
@@ -153,12 +161,28 @@ DoctorReport diagnose_spool(const sched::DivergenceReport& divergence,
                             const std::string& path) {
   DoctorReport rep;
   rep.divergence = divergence;
-  const std::string file = locate_spool_file(divergence, path);
-  if (file.empty()) {
+  const std::vector<std::string> candidates =
+      locate_spool_files(divergence, path);
+  if (candidates.empty()) {
     note(rep, "no spool file for vm " + std::to_string(divergence.vm_id) +
                   " under '" + path + "' — recorded-side context unavailable");
     return rep;
   }
+  if (candidates.size() > 1) {
+    std::string which;
+    for (const auto& c : candidates) {
+      if (!which.empty()) which += ", ";
+      which += "'" + c + "'";
+    }
+    note(rep, str_format("%zu spool files under '%s' carry vm id %u (",
+                         candidates.size(), path.c_str(), divergence.vm_id) +
+                  which +
+                  ") — likely leftovers from earlier runs sharing the spool "
+                  "dir; refusing to guess, pass the exact file (or set "
+                  "vm_name) to disambiguate");
+    return rep;
+  }
+  const std::string& file = candidates.front();
   rep.log_found = true;
   rep.log_path = file;
   {

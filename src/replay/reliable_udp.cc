@@ -111,7 +111,17 @@ void ReliableUdp::receiver_loop() {
       auto [it, fresh] = seen_[raw.source].insert(rel.seq);
       if (!fresh) continue;  // duplicate (retransmission)
     }
-    delivered_.push(net::Datagram{raw.source, std::move(rel.inner)});
+    if (!delivered_.push(net::Datagram{raw.source, std::move(rel.inner)})) {
+      // The delivery queue closed under us: the datagram was already acked
+      // and marked seen, so the sender will never retransmit it.  That is
+      // acceptable only because we are shutting down — say so instead of
+      // losing the delivery silently, and stop the loop.
+      DJVU_LOG(kDebug) << "reliable UDP " << to_string(port_->address())
+                       << " dropped an acked delivery from "
+                       << to_string(raw.source)
+                       << ": receive queue closed during shutdown";
+      return;
+    }
   }
 }
 

@@ -11,10 +11,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/errors.h"
 #include "common/ids.h"
+#include "sched/causal_order.h"
 #include "sched/interval.h"
 #include "sched/trace.h"
 
@@ -39,6 +41,45 @@ struct ThreadState {
   bool lease_active = false;
   GlobalCount lease_end = 0;
   GlobalCount lease_next_publish = 0;
+
+  /// Causal order mode, record side: per-event conflict-key sequence
+  /// numbers in program order (event i of this thread got per-key seq
+  /// causal_buf[i]).  Drained to the spooler alongside intervals, or
+  /// collected wholesale at end of record.
+  std::vector<std::uint64_t> causal_buf;
+
+  /// Causal order mode, replay side: this thread's recorded per-key seqs,
+  /// owned by the replay log.  Indexed by cursor.consumed() — the cursor
+  /// and the causal list advance in lock step, one entry per event.
+  const std::vector<std::uint64_t>* causal_seqs = nullptr;
+
+  /// Causal order mode, replay side: the resolved ticket of the event
+  /// between await (replay_turn_wait) and publish (replay_turn_done).
+  /// Only ever touched by the owning thread.
+  CausalOrder::Ticket causal_ticket;
+  bool causal_pending = false;
+
+  /// Causal order mode, both sides: this thread's key → ticket cache, so
+  /// the hot path (a thread revisiting the same few objects) skips the
+  /// shard-locked resolve.  Linear scan with move-to-front; bounded —
+  /// past the cap, uncached keys resolve every time.
+  static constexpr std::size_t kCausalCacheCap = 64;
+  std::vector<std::pair<std::uint64_t, CausalOrder::Ticket>> causal_cache;
+
+  CausalOrder::Ticket causal_lookup(std::uint64_t key, CausalOrder& order) {
+    for (std::size_t i = 0; i < causal_cache.size(); ++i) {
+      if (causal_cache[i].first == key) {
+        if (i != 0) std::swap(causal_cache[0], causal_cache[i]);
+        return causal_cache[0].second;
+      }
+    }
+    CausalOrder::Ticket t = order.resolve(key);
+    if (causal_cache.size() < kCausalCacheCap) {
+      causal_cache.emplace_back(key, t);
+      std::swap(causal_cache.front(), causal_cache.back());
+    }
+    return t;
+  }
 
   /// Per-thread network event numbering ("eventNum is used to order network
   /// events within a specific thread").  Advances identically in record and
@@ -126,6 +167,19 @@ class ThreadRegistry {
     std::vector<IntervalList> out;
     out.reserve(threads_.size());
     for (auto& t : threads_) out.push_back(t->recorder.finish());
+    return out;
+  }
+
+  /// Moves out every thread's buffered causal per-key seqs, indexed by
+  /// threadNum (end of record, causal order mode).
+  std::vector<std::vector<std::uint64_t>> collect_causal() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::vector<std::uint64_t>> out;
+    out.reserve(threads_.size());
+    for (auto& t : threads_) {
+      out.push_back(std::move(t->causal_buf));
+      t->causal_buf.clear();
+    }
     return out;
   }
 

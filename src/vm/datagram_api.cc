@@ -357,7 +357,7 @@ DatagramPacket DatagramSocket::receive() {
   // Blocking on the reliable layer inside a lease is safe for the same
   // reason as Socket::do_read: the awaited datagram comes from a peer VM,
   // never from a thread parked on this VM's counter.
-  vm_.replay_turn_begin();
+  vm_.replay_turn_begin(EventKind::kUdpReceive, this);
   Bytes payload;
   {
     std::lock_guard<std::mutex> fd(recv_mutex_);

@@ -29,7 +29,7 @@ void Monitor::enter() {
     // either local to this thread (unlocked in program order) or has a
     // counter value below the lease start and so happened-before the
     // lease-opening await.
-    vm_.replay_turn_begin();
+    vm_.replay_turn_begin(EventKind::kMonitorEnter, this);
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
     depth_ = 1;
@@ -86,7 +86,7 @@ void Monitor::wait() {
         0, this);
     // ...and skip the condition variable entirely: the schedule already
     // places the matching notify before our kWaitReacquire event.
-    vm_.replay_turn_begin();
+    vm_.replay_turn_begin(EventKind::kWaitReacquire, this);
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
     depth_ = saved_depth;
@@ -128,7 +128,7 @@ void Monitor::wait_for(std::chrono::milliseconds timeout) {
           return std::uint64_t{0};
         },
         0, this);
-    vm_.replay_turn_begin();
+    vm_.replay_turn_begin(EventKind::kWaitReacquire, this);
     mutex_.lock();
     owner_.store(self, std::memory_order_relaxed);
     depth_ = saved_depth;

@@ -306,7 +306,7 @@ std::size_t Socket::do_read(std::uint8_t* out, std::size_t max) {
   // bytes this read blocks for were produced by peer-VM writes, not by
   // this VM's counter, so blocking inside a lease cannot deadlock the
   // schedule — the completion below is what orders the event.
-  vm_.replay_turn_begin();
+  vm_.replay_turn_begin(EventKind::kSockRead, this);
   {
     std::lock_guard<std::mutex> fd(read_mutex_);
     std::size_t got = 0;
@@ -362,7 +362,7 @@ std::size_t Socket::do_available() {
   }
   // "the available event can potentially block until it returns the
   // recorded number of bytes".
-  vm_.replay_turn_begin();
+  vm_.replay_turn_begin(EventKind::kSockAvailable, this);
   if (m > 0 && !conn_->wait_available(m)) {
     vm_.replay_divergence(
         EventKind::kSockAvailable,

@@ -20,6 +20,18 @@ struct ThreadBinding {
 
 thread_local ThreadBinding t_binding;
 
+/// The SectionKey a conflict key maps to: the object address, or — for
+/// thread-local events — an odd key derived from the thread number (never
+/// collides with an aligned object address).  One mapping shared by the
+/// record sections, the causal record side, and the causal replay side, so
+/// all three agree on which order a key owns.
+sched::SectionKey conflict_section_key(ThreadNum num, ConflictKey conflict) {
+  return conflict == kThreadLocalConflict
+             ? (std::uint64_t{num} << 1) | 1
+             : static_cast<sched::SectionKey>(
+                   reinterpret_cast<std::uintptr_t>(conflict));
+}
+
 }  // namespace
 
 Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
@@ -42,6 +54,33 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
     throw UsageError("replay log belongs to vm " +
                      std::to_string(replay_log_->vm_id) + ", not vm " +
                      std::to_string(config_.vm_id));
+  }
+  if (instrumented() && config_.tuning.order_mode == OrderMode::kCausal) {
+    causal_ = std::make_unique<sched::CausalOrder>(
+        config_.tuning.stall_timeout, config_.tuning.record_stripes);
+  }
+  if (causal_ && config_.mode == Mode::kReplay) {
+    // Causal replay needs one per-key seq per recorded event, thread by
+    // thread.  A total-order recording has none; a torn spool prefix can
+    // have fewer causal entries than schedule events (the two batches of a
+    // flush may straddle the torn chunk).  Either way the partial order is
+    // unknown — refuse here rather than stall mid-replay.
+    const auto& sl = replay_log_->schedule.per_thread;
+    const auto& cl = replay_log_->causal.per_thread;
+    for (std::size_t t = 0; t < sl.size(); ++t) {
+      GlobalCount events = 0;
+      for (const auto& iv : sl[t]) events += iv.length();
+      const std::uint64_t have = t < cl.size() ? cl[t].size() : 0;
+      if (events != have) {
+        throw UsageError(
+            "replay with order_mode=causal requires a causal recording: "
+            "thread " +
+            std::to_string(t) + " has " + std::to_string(events) +
+            " recorded events but " + std::to_string(have) +
+            " causal entries — record with order_mode=causal, or replay "
+            "this log with order_mode=total");
+      }
+    }
   }
   if (config_.mode == Mode::kRecord && !config_.spool_path.empty()) {
     record::LogSpooler::Options opts;
@@ -93,9 +132,12 @@ void Vm::attach_main() {
     if (!per_thread.empty()) {
       state.cursor = sched::IntervalCursor(per_thread[0]);
     }
+    if (causal_ && !replay_log_->causal.per_thread.empty()) {
+      state.causal_seqs = &replay_log_->causal.per_thread[0];
+    }
   }
   t_binding = {this, &state};
-  counter_.runner_began();
+  runner_began();
 }
 
 void Vm::detach_current() {
@@ -104,7 +146,7 @@ void Vm::detach_current() {
   }
   if (t_binding.state != nullptr) flush_trace(*t_binding.state);
   t_binding = {};
-  counter_.runner_ended();
+  runner_ended();
 }
 
 GlobalCount Vm::critical_events() const {
@@ -134,6 +176,9 @@ sched::ThreadState& Vm::register_child_thread() {
     if (state.num < per_thread.size()) {
       state.cursor = sched::IntervalCursor(per_thread[state.num]);
     }
+    if (causal_ && state.num < replay_log_->causal.per_thread.size()) {
+      state.causal_seqs = &replay_log_->causal.per_thread[state.num];
+    }
   }
   return state;
 }
@@ -144,6 +189,7 @@ void Vm::bind_current(Vm* vm, sched::ThreadState* state) {
 
 void Vm::poison() {
   counter_.poison();
+  if (causal_) causal_->poison();
   network_->shutdown();
 }
 
@@ -152,6 +198,12 @@ void Vm::resume_replay(GlobalCount checkpoint_gc,
                        EventNum main_event_num) {
   if (config_.mode != Mode::kReplay) {
     throw UsageError("resume_replay outside replay mode");
+  }
+  if (causal_) {
+    throw UsageError(
+        "resume_replay requires order_mode=total: replay-from-checkpoint "
+        "fast-forwards the exact global counter, which causal replay does "
+        "not maintain turn-by-turn");
   }
   if (counter_.value() != 0 || registry_.size() != 1) {
     throw UsageError("resume_replay after events already executed");
@@ -191,6 +243,10 @@ void Vm::flush_trace(sched::ThreadState& state) {
 void Vm::maybe_spool_flush(sched::ThreadState& state) {
   sched::IntervalList closed = state.recorder.drain_closed();
   if (!closed.empty()) spooler_->schedule_batch(state.num, closed);
+  if (causal_ && !state.causal_buf.empty()) {
+    spooler_->causal_batch(state.num, state.causal_buf);
+    state.causal_buf.clear();
+  }
   flush_trace(state);
 }
 
@@ -233,6 +289,13 @@ record::VmLog Vm::finish_record() {
     for (ThreadNum t = 0; t < per_thread.size(); ++t) {
       if (!per_thread[t].empty()) spooler_->schedule_batch(t, per_thread[t]);
     }
+    if (causal_) {
+      const std::vector<std::vector<std::uint64_t>> causal_lists =
+          registry_.collect_causal();
+      for (ThreadNum t = 0; t < causal_lists.size(); ++t) {
+        if (!causal_lists[t].empty()) spooler_->causal_batch(t, causal_lists[t]);
+      }
+    }
     spooler_->finish(log.stats,
                      static_cast<std::uint32_t>(registry_.size()));
     spooler_->close();
@@ -240,6 +303,7 @@ record::VmLog Vm::finish_record() {
   }
   log.schedule.per_thread = registry_.collect_intervals();
   log.network = std::move(network_log_);
+  if (causal_) log.causal.per_thread = registry_.collect_causal();
   return log;
 }
 
@@ -397,6 +461,24 @@ GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable,
     // peek() is the divergence check: a thread attempting an event beyond
     // its recorded schedule throws here, before any waiting, in both modes.
     const GlobalCount g = state.cursor.peek();
+    if (causal_) {
+      // Causal replay: wait for the event's per-key predecessor, not the
+      // global turn.  The recorded gc still tags the trace record below, so
+      // gc-sorted traces (and digests) stay identical across modes.  The
+      // per-event seq is looked up by position — the cursor and the causal
+      // list advance in lock step, one entry per event (sizes validated at
+      // construction).  replay_leasing is ignored: per-key waiting already
+      // eliminates the cross-thread serialization leases amortize.
+      const std::uint64_t seq =
+          (*state.causal_seqs)[state.cursor.consumed()];
+      const sched::SectionKey key =
+          conflict_section_key(state.num, conflict);
+      const sched::CausalOrder::Ticket t = state.causal_lookup(key, *causal_);
+      causal_->await(t, key, seq);
+      state.causal_ticket = t;
+      state.causal_pending = true;
+      return g;
+    }
     if (!config_.tuning.replay_leasing) {
       counter_.await(g);
       return g;
@@ -429,6 +511,18 @@ GlobalCount Vm::replay_turn_wait(sched::ThreadState& state, bool leasable,
 }
 
 void Vm::replay_turn_done(sched::ThreadState& state, GlobalCount g) {
+  if (causal_) {
+    // The tick keeps value() (finish_replay's count check, stats, stall
+    // observers) moving; ticks from different threads may interleave here,
+    // which is safe — no thread ever awaits the counter in causal replay.
+    counter_.tick();
+    state.cursor.advance();
+    if (state.causal_pending) {
+      state.causal_pending = false;
+      causal_->publish(state.causal_ticket);
+    }
+    return;
+  }
   if (state.lease_active) {
     if (g == state.lease_end) {
       counter_.lease_complete(g);
@@ -484,17 +578,33 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
       };
       GlobalCount gc;
       if (conflict == kGlobalConflict) {
+        if (causal_) {
+          throw UsageError(
+              "kGlobalConflict events (checkpoint barriers) require "
+              "order_mode=total: they exclude every key at once, which a "
+              "per-key partial order cannot express");
+        }
         gc = counter_.with_exclusive_section(section_body);
       } else {
         // Thread-local events key on the thread number, made odd so it can
         // never collide with an aligned object address.  With sharding off
-        // the key is ignored (single section).
+        // the key is ignored by the section (single section) — but still
+        // names the causal-mode per-key order.
         const sched::SectionKey key =
-            conflict == kThreadLocalConflict
-                ? (std::uint64_t{state.num} << 1) | 1
-                : static_cast<sched::SectionKey>(
-                      reinterpret_cast<std::uintptr_t>(conflict));
-        gc = counter_.with_section(key, section_body);
+            conflict_section_key(state.num, conflict);
+        if (causal_) {
+          // The per-key seq is assigned INSIDE the key's section: same-key
+          // events serialize on the same stripe (or the single section), so
+          // seq order == section-acquisition order == object access order.
+          const sched::CausalOrder::Ticket t =
+              state.causal_lookup(key, *causal_);
+          gc = counter_.with_section(key, [&](GlobalCount g) {
+            section_body(g);
+            state.causal_buf.push_back(causal_->record_next(t));
+          });
+        } else {
+          gc = counter_.with_section(key, section_body);
+        }
       }
       after_event(state, kind, aux, gc);
       if (raised) std::rethrow_exception(raised);
@@ -506,6 +616,12 @@ GlobalCount Vm::critical_event(sched::EventKind kind, const EventBody& body,
       // state against value(), so they need the counter exact: publish and
       // drop any active lease, then run the per-event protocol.
       const bool exact = conflict == kGlobalConflict;
+      if (exact && causal_) {
+        throw UsageError(
+            "kGlobalConflict events (checkpoint barriers) require "
+            "order_mode=total: causal replay never holds the exact global "
+            "counter");
+      }
       if (exact) lease_quiesce(state);
       const GlobalCount g = replay_turn_wait(state, /*leasable=*/!exact,
                                              /*event_known=*/true, kind,
@@ -533,11 +649,13 @@ GlobalCount Vm::mark_event(sched::EventKind kind, std::uint64_t aux,
   return critical_event(kind, nullptr, aux, conflict);
 }
 
-GlobalCount Vm::replay_turn_begin() {
+GlobalCount Vm::replay_turn_begin(sched::EventKind kind,
+                                  ConflictKey conflict) {
   if (config_.mode != Mode::kReplay) {
     throw UsageError("replay_turn_begin outside replay mode");
   }
-  return replay_turn_wait(current_state(), /*leasable=*/true);
+  return replay_turn_wait(current_state(), /*leasable=*/true,
+                          /*event_known=*/true, kind, conflict);
 }
 
 void Vm::replay_turn_end(sched::EventKind kind, std::uint64_t aux) {

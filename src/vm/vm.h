@@ -38,6 +38,7 @@
 #include "net/network.h"
 #include "record/log_spool.h"
 #include "record/vm_log.h"
+#include "sched/causal_order.h"
 #include "sched/divergence.h"
 #include "sched/global_counter.h"
 #include "sched/thread_registry.h"
@@ -95,6 +96,17 @@ enum class Mode {
 ///     interleaving.  0 disables.
 ///   * spool_* — the streaming log spooler (record/log_spool.h); the VM
 ///     consumes them only when `spool_path` below is set.
+///   * order_mode — kTotal is the paper's scheme: replay enforces the one
+///     recorded total order.  kCausal additionally records each event's
+///     per-conflict-key sequence number and replays by waiting only for the
+///     event's per-key predecessor (sched::CausalOrder), so events on
+///     independent keys replay in parallel (docs/INTERNALS.md §1d).  A
+///     causal recording carries both orders and replays under either mode
+///     with identical traces; a total-order recording replays only under
+///     kTotal (no per-key data — the Vm constructor rejects it).  Causal
+///     mode refuses kGlobalConflict events and resume_replay (checkpoint
+///     machinery needs the exact global counter); replay_leasing is ignored
+///     in causal replay.
 struct VmConfig {
   /// DJVM identity: assigned before record, logged, and reused in replay.
   DjvmId vm_id = 0;
@@ -210,8 +222,14 @@ class Vm {
   GlobalCount critical_events() const;
 
   /// Scheduler self-measurements (ticks, waits, targeted wakeups, stall
-  /// detections — see sched/sched_stats.h).  Snapshot; never blocks.
-  sched::SchedStats sched_stats() const { return counter_.stats(); }
+  /// detections — see sched/sched_stats.h).  Snapshot; never blocks.  In
+  /// causal replay, awaits that parked on a per-key predecessor are folded
+  /// into waits_parked (the counter itself is never awaited in that mode).
+  sched::SchedStats sched_stats() const {
+    sched::SchedStats s = counter_.stats();
+    if (causal_) s.waits_parked += causal_->waits_parked();
+    return s;
+  }
 
   /// Network critical events executed so far ("#nw events").
   std::uint64_t network_events() const {
@@ -282,9 +300,12 @@ class Vm {
   /// action (record) / executed at its recorded turn (replay) / plain call
   /// (passthrough).  Returns the event's global counter value (0 in
   /// passthrough).  When `body` is null the event is a pure mark and
-  /// `fixed_aux` is traced.  `conflict` is the record-sharding key (see
-  /// ConflictKey); replay ignores it — the recorded total order already
-  /// serializes everything.
+  /// `fixed_aux` is traced.  `conflict` is the event's conflict key (see
+  /// ConflictKey): the record-sharding stripe key, the causal-mode per-key
+  /// order, and — in causal replay — the key whose predecessor the event
+  /// waits on.  Total-order replay ignores it (the recorded total order
+  /// already serializes everything); gateways must still pass the same key
+  /// in both modes so a causal replay waits on the object it recorded.
   GlobalCount critical_event(sched::EventKind kind,
                              const EventBody& body = nullptr,
                              std::uint64_t fixed_aux = 0,
@@ -296,8 +317,14 @@ class Vm {
                          ConflictKey conflict = kThreadLocalConflict);
 
   /// Replay only: blocks until the calling thread's next critical event's
-  /// turn and returns its global counter value (without ticking).
-  GlobalCount replay_turn_begin();
+  /// turn and returns its global counter value (without ticking).  `kind`
+  /// and `conflict` describe the event for divergence forensics and — in
+  /// causal replay — name the key whose predecessor the turn waits on, so
+  /// blocking-read gateways must pass the same key they mark with in
+  /// record mode.
+  GlobalCount replay_turn_begin(sched::EventKind kind =
+                                    sched::EventKind::kSharedRead,
+                                ConflictKey conflict = kThreadLocalConflict);
 
   /// Replay only: completes the event started by replay_turn_begin —
   /// ticks the counter, advances the thread's cursor, traces.
@@ -333,9 +360,16 @@ class Vm {
   /// Stall-detector runner registry (sched::GlobalCounter::runner_*):
   /// attach/bind marks a thread as a runner; a thread blocked outside the
   /// scheduler (VmThread::join) deregisters for the duration so the
-  /// detector knows whether counter progress is still possible.
-  void runner_began() { counter_.runner_began(); }
-  void runner_ended() { counter_.runner_ended(); }
+  /// detector knows whether counter progress is still possible.  Mirrored
+  /// into the causal order (its await has its own stall detector).
+  void runner_began() {
+    counter_.runner_began();
+    if (causal_) causal_->runner_began();
+  }
+  void runner_ended() {
+    counter_.runner_ended();
+    if (causal_) causal_->runner_ended();
+  }
 
   /// Record-mode chaos: maybe yield/sleep before an event (see
   /// VmConfig::chaos_prob).
@@ -401,6 +435,12 @@ class Vm {
   std::shared_ptr<const record::VmLog> replay_log_;
 
   sched::GlobalCounter counter_;
+
+  /// Per-key causal order (order_mode = kCausal; null in total-order mode
+  /// and in passthrough).  Record: assigns per-key seqs inside GC-critical
+  /// sections.  Replay: the turn protocol waits on it instead of the
+  /// counter (which still ticks, for value() observers and finish checks).
+  std::unique_ptr<sched::CausalOrder> causal_;
 
   /// Structured reports of every divergence any of this VM's threads hit
   /// (replay).  Threads append at throw time — before unwinding can race

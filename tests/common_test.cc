@@ -118,9 +118,9 @@ TEST(Rng, NextBelowInRange) {
 
 TEST(BlockingQueue, FifoOrder) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
-  q.push(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
   EXPECT_EQ(*q.pop(), 1);
   EXPECT_EQ(*q.pop(), 2);
   EXPECT_EQ(*q.pop(), 3);
@@ -130,7 +130,7 @@ TEST(BlockingQueue, PopBlocksUntilPush) {
   BlockingQueue<int> q;
   std::thread producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    q.push(99);
+    EXPECT_TRUE(q.push(99));
   });
   EXPECT_EQ(*q.pop(), 99);
   producer.join();
@@ -138,17 +138,55 @@ TEST(BlockingQueue, PopBlocksUntilPush) {
 
 TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
   BlockingQueue<int> q;
-  q.push(1);
+  EXPECT_TRUE(q.push(1));
   q.close();
   EXPECT_EQ(*q.pop(), 1);
   EXPECT_FALSE(q.pop().has_value());
-  q.push(2);  // dropped
+  EXPECT_FALSE(q.push(2));  // refused, not silently swallowed
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, PushAfterCloseRefusedAndCounted) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.dropped(), 0u);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.dropped(), 2u);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(BlockingQueue, PopForTimesOut) {
   BlockingQueue<int> q;
-  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(5)).has_value());
+  auto got = q.pop_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(got.status, QueuePopStatus::kTimedOut);
+  EXPECT_FALSE(got.item.has_value());
+}
+
+TEST(BlockingQueue, PopForDistinguishesClosedFromTimeout) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  // Remaining elements drain first...
+  auto first = q.pop_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(first.status, QueuePopStatus::kItem);
+  EXPECT_EQ(*first.item, 7);
+  // ...then closed-and-drained is reported as kClosed, not a timeout.
+  auto second = q.pop_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(second.status, QueuePopStatus::kClosed);
+  EXPECT_FALSE(second.item.has_value());
+}
+
+TEST(BlockingQueue, PopForWokenByConcurrentClose) {
+  BlockingQueue<int> q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+  });
+  // A long-timeout pop wakes promptly on close and reports kClosed.
+  auto got = q.pop_for(std::chrono::seconds(30));
+  EXPECT_EQ(got.status, QueuePopStatus::kClosed);
+  closer.join();
 }
 
 TEST(Ids, Ordering) {

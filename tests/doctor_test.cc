@@ -141,6 +141,33 @@ TEST(Doctor, LocatesSpoolByVmIdWhenNameUnknown) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Doctor, AmbiguousVmIdMatchIsAFindingNotAGuess) {
+  const std::string dir = temp_dir("ambig");
+  sched::DivergenceReport report = divergent_report(dir, 10, 1);
+  // A leftover spool from an earlier run sharing the dir, same vm id.
+  std::filesystem::copy(dir + "/app.djvuspool", dir + "/stale.djvuspool");
+  report.vm_name.clear();  // force the header-scan fallback
+  replay::DoctorReport doc = replay::diagnose_spool(report, dir);
+  EXPECT_FALSE(doc.log_found);
+  ASSERT_FALSE(doc.notes.empty());
+  // The finding names every candidate so the developer can pick.
+  bool named_both = false;
+  for (const auto& n : doc.notes) {
+    named_both = named_both ||
+                 (n.find("app.djvuspool") != std::string::npos &&
+                  n.find("stale.djvuspool") != std::string::npos);
+  }
+  EXPECT_TRUE(named_both);
+  expect_balanced_json(replay::to_json(doc));
+
+  // With the name present the match is authoritative again.
+  report.vm_name = "app";
+  replay::DoctorReport named = replay::diagnose_spool(report, dir);
+  EXPECT_TRUE(named.log_found);
+  EXPECT_EQ(named.log_path, dir + "/app.djvuspool");
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ChromeTrace, OneTrackPerThreadAndBalancedJson) {
   auto s = counter_app(15);
   auto rec = s.record(43);

@@ -398,6 +398,58 @@ TEST(IntervalCursor, Remaining) {
   EXPECT_EQ(c.remaining(), 0u);
 }
 
+TEST(IntervalCursor, SkipThroughLimitExactlyOnIntervalLast) {
+  // A limit that lands exactly on an interval's last event must consume the
+  // whole interval (<= is inclusive) and leave the cursor on the next one.
+  IntervalCursor c({{2, 4}, {7, 9}});
+  c.skip_through(4);
+  EXPECT_EQ(c.consumed(), 3u);
+  EXPECT_EQ(c.remaining(), 3u);
+  EXPECT_EQ(c.peek(), 7u);
+  ASSERT_TRUE(c.current_interval().has_value());
+  EXPECT_EQ(*c.current_interval(), (LogicalInterval{7, 9}));
+}
+
+TEST(IntervalCursor, SkipThroughInsideIntervalAfterPartialSkip) {
+  // Second skip lands inside the interval the first skip already entered
+  // partway: the offset from the first skip must be subtracted, not
+  // re-counted.
+  IntervalCursor c({{3, 10}});
+  c.skip_through(5);  // enters {3,10} at offset 3 (events 3,4,5 consumed)
+  EXPECT_EQ(c.consumed(), 3u);
+  EXPECT_EQ(c.peek(), 6u);
+  c.skip_through(8);  // consumes 6,7,8 only
+  EXPECT_EQ(c.consumed(), 6u);
+  EXPECT_EQ(c.remaining(), 2u);
+  EXPECT_EQ(c.peek(), 9u);
+}
+
+TEST(IntervalCursor, SkipThroughAccountingMatchesAdvance) {
+  // consumed()/remaining() after skip_through must equal what event-by-event
+  // advance() would have produced, at every probe point.
+  const IntervalList intervals{{0, 2}, {5, 5}, {8, 12}};
+  for (GlobalCount limit = 0; limit <= 14; ++limit) {
+    IntervalCursor skipped(intervals);
+    skipped.skip_through(limit);
+    IntervalCursor walked(intervals);
+    while (!walked.exhausted() && walked.peek() <= limit) walked.advance();
+    EXPECT_EQ(skipped.consumed(), walked.consumed()) << "limit " << limit;
+    EXPECT_EQ(skipped.remaining(), walked.remaining()) << "limit " << limit;
+    EXPECT_EQ(skipped.exhausted(), walked.exhausted()) << "limit " << limit;
+    if (!skipped.exhausted()) {
+      EXPECT_EQ(skipped.peek(), walked.peek()) << "limit " << limit;
+    }
+  }
+}
+
+TEST(IntervalCursor, SkipThroughBeforeFirstEventIsNoOp) {
+  IntervalCursor c({{3, 5}});
+  c.skip_through(2);
+  EXPECT_EQ(c.consumed(), 0u);
+  EXPECT_EQ(c.remaining(), 3u);
+  EXPECT_EQ(c.peek(), 3u);
+}
+
 // Property: for ANY interleaving, recording then replaying the interval
 // lists reproduces the original event order.
 TEST(Intervals, RecordThenCursorRoundTrip) {
