@@ -19,8 +19,13 @@
 //
 // Flags:
 //   --spool      run only the spooled-vs-in-memory record comparison
-//   --smoke      small spool grid; exit nonzero if spooled record is >15%
-//                slower than in-memory (the streaming-writer tripwire)
+//                (three arms: memory, spool_ring, spool_queue — the latter
+//                two differ only in tuning.spool_ring, i.e. lock-free SPSC
+//                producer rings vs the mutex/condvar queue)
+//   --smoke      small spool grid; exit nonzero if the ring arm is >15%
+//                slower than in-memory, or >10% slower than the queue arm
+//                (the hot-path regression tripwires; both need >= 2 cores
+//                for overlap to be possible)
 
 #include <chrono>
 #include <cstdio>
@@ -115,16 +120,32 @@ Result best_of(int threads, bool shared_object, bool sharding) {
 // O(run-length) part the spooler exists to stream out), timed through
 // finish_record() so the spooled arm pays for sealing and fsyncing its file.
 
+// memory = in-memory VmLog (no spooler at all); ring/queue = spooled, with
+// the producer-side handoff being per-thread SPSC rings vs the shared
+// mutex/condvar queue (tuning.spool_ring on/off, on-disk format identical).
+enum class SpoolMode { kMemory, kRing, kQueue };
+
+const char* spool_mode_name(SpoolMode m) {
+  switch (m) {
+    case SpoolMode::kMemory:
+      return "memory";
+    case SpoolMode::kRing:
+      return "spool_ring";
+    default:
+      return "spool_queue";
+  }
+}
+
 struct SpoolResult {
   int threads = 0;
-  bool spooled = false;
+  SpoolMode mode = SpoolMode::kMemory;
   std::uint64_t events = 0;
   double seconds = 0;
   double events_per_sec = 0;
   record::SpoolStats spool{};
 };
 
-SpoolResult run_record_arm(int threads, bool spooled, int iters,
+SpoolResult run_record_arm(int threads, SpoolMode mode, int iters,
                            const std::string& spool_path) {
   auto network = std::make_shared<net::Network>();
   vm::VmConfig cfg;
@@ -132,7 +153,8 @@ SpoolResult run_record_arm(int threads, bool spooled, int iters,
   cfg.mode = vm::Mode::kRecord;
   cfg.keep_trace = true;
   cfg.tuning.record_sharding = true;
-  if (spooled) cfg.spool_path = spool_path;
+  cfg.tuning.spool_ring = mode == SpoolMode::kRing;
+  if (mode != SpoolMode::kMemory) cfg.spool_path = spool_path;
   vm::Vm v(network, cfg);
   v.attach_main();
 
@@ -155,21 +177,21 @@ SpoolResult run_record_arm(int threads, bool spooled, int iters,
 
   SpoolResult r;
   r.threads = threads;
-  r.spooled = spooled;
+  r.mode = mode;
   r.events = log.stats.critical_events;
   r.seconds = std::chrono::duration<double>(end - start).count();
   r.events_per_sec = static_cast<double>(r.events) / r.seconds;
   r.spool = v.spool_stats();
   v.detach_current();
-  if (spooled) std::filesystem::remove(spool_path);
+  if (mode != SpoolMode::kMemory) std::filesystem::remove(spool_path);
   return r;
 }
 
-SpoolResult best_record_arm(int threads, bool spooled, int iters,
+SpoolResult best_record_arm(int threads, SpoolMode mode, int iters,
                             const std::string& spool_path) {
   SpoolResult best;
   for (int i = 0; i < kReps; ++i) {
-    SpoolResult r = run_record_arm(threads, spooled, iters, spool_path);
+    SpoolResult r = run_record_arm(threads, mode, iters, spool_path);
     if (i == 0 || r.events_per_sec > best.events_per_sec) best = r;
   }
   return best;
@@ -178,7 +200,7 @@ SpoolResult best_record_arm(int threads, bool spooled, int iters,
 Json to_json(const SpoolResult& r) {
   return Json::object()
       .field("threads", r.threads)
-      .field("mode", r.spooled ? "spooled" : "memory")
+      .field("mode", spool_mode_name(r.mode))
       .field("events", r.events)
       .field("seconds", r.seconds)
       .field("events_per_sec", r.events_per_sec)
@@ -186,6 +208,9 @@ Json to_json(const SpoolResult& r) {
       .field("written_bytes", r.spool.written_bytes)
       .field("chunks_written", r.spool.chunks_written)
       .field("queue_high_water_bytes", r.spool.queue_high_water_bytes)
+      .field("ring_high_water_bytes", r.spool.ring_high_water_bytes)
+      .field("ring_records", r.spool.ring_records)
+      .field("writer_parks", r.spool.writer_parks)
       .field("producer_blocks", r.spool.producer_blocks);
 }
 
@@ -227,28 +252,48 @@ int main(int argc, char** argv) {
   std::vector<Json> spool_records;
   std::printf("Spooled vs in-memory record (shared object, sharding on, "
               "trace kept)%s\n\n", smoke ? " — smoke grid" : "");
-  std::printf("%8s %10s %10s %10s %12s %14s %10s\n", "#threads", "mode",
+  std::printf("%8s %12s %10s %10s %12s %14s %10s\n", "#threads", "mode",
               "Mev/s", "slowdown", "written(KB)", "high_water(KB)", "blocks");
   bool tripwire = false;
+  const bool multicore = std::thread::hardware_concurrency() >= 2;
   for (int threads : spool_grid) {
-    SpoolResult mem = best_record_arm(threads, false, spool_iters, spool_path);
-    SpoolResult sp = best_record_arm(threads, true, spool_iters, spool_path);
+    SpoolResult mem =
+        best_record_arm(threads, SpoolMode::kMemory, spool_iters, spool_path);
+    SpoolResult ring =
+        best_record_arm(threads, SpoolMode::kRing, spool_iters, spool_path);
+    SpoolResult queue =
+        best_record_arm(threads, SpoolMode::kQueue, spool_iters, spool_path);
     spool_records.push_back(to_json(mem));
-    spool_records.push_back(to_json(sp));
-    std::printf("%8d %10s %10.3f %10s %12s %14s %10s\n", threads, "memory",
+    spool_records.push_back(to_json(ring));
+    spool_records.push_back(to_json(queue));
+    std::printf("%8d %12s %10.3f %10s %12s %14s %10s\n", threads, "memory",
                 mem.events_per_sec / 1e6, "-", "-", "-", "-");
-    std::printf("%8d %10s %10.3f %9.2fx %12.1f %14.1f %10llu\n", threads,
-                "spooled", sp.events_per_sec / 1e6,
-                mem.events_per_sec / sp.events_per_sec,
-                static_cast<double>(sp.spool.written_bytes) / 1024.0,
-                static_cast<double>(sp.spool.queue_high_water_bytes) / 1024.0,
-                static_cast<unsigned long long>(sp.spool.producer_blocks));
+    for (const SpoolResult* sp : {&ring, &queue}) {
+      const double hw = static_cast<double>(
+          sp->mode == SpoolMode::kRing ? sp->spool.ring_high_water_bytes
+                                       : sp->spool.queue_high_water_bytes);
+      std::printf("%8d %12s %10.3f %9.2fx %12.1f %14.1f %10llu\n", threads,
+                  spool_mode_name(sp->mode), sp->events_per_sec / 1e6,
+                  mem.events_per_sec / sp->events_per_sec,
+                  static_cast<double>(sp->spool.written_bytes) / 1024.0,
+                  hw / 1024.0,
+                  static_cast<unsigned long long>(sp->spool.producer_blocks));
+    }
     // On one core the writer thread timeslices with the recording threads
     // instead of overlapping them, so the serialization+IO work shows up as
     // wall time no matter how cheap the producer path is; only enforce the
-    // tripwire where overlap is possible.
-    if (smoke && std::thread::hardware_concurrency() >= 2 &&
-        sp.seconds > 1.15 * mem.seconds) {
+    // tripwires where overlap is possible.
+    if (smoke && multicore && ring.seconds > 1.15 * mem.seconds) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: spool_ring record >15%% slower than in-memory "
+                   "at %d threads\n", threads);
+      tripwire = true;
+    }
+    // The ring path exists to beat the queue; it must at minimum not lose.
+    if (smoke && multicore && ring.seconds > 1.10 * queue.seconds) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: spool_ring record >10%% slower than spool_queue "
+                   "at %d threads\n", threads);
       tripwire = true;
     }
   }
@@ -267,12 +312,7 @@ int main(int argc, char** argv) {
                               .field("smoke", smoke))
             .field("spool_results", spool_records);
     write_bench_json("BENCH_record_scaling.json", root);
-    if (tripwire) {
-      std::fprintf(stderr,
-                   "TRIPWIRE: spooled record >15%% slower than in-memory\n");
-      return 1;
-    }
-    return 0;
+    return tripwire ? 1 : 0;
   }
 
   std::printf("Record-path contention: critical events/sec, sharded vs "

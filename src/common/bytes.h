@@ -36,6 +36,19 @@ std::string to_string(BytesView b);
 /// Appends `src` to `dst`.
 void append(Bytes& dst, BytesView src);
 
+/// Zigzag mapping of signed integers onto unsigned varint-friendly space:
+/// 0, -1, 1, -2, ... → 0, 1, 2, 3, ...  Small magnitudes of either sign
+/// stay one varint byte (plain two's complement would make every negative
+/// delta ten bytes).
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
 /// Serializer that appends primitives to an owned buffer.
 ///
 /// All write methods return *this so encodings can be chained.

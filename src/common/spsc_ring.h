@@ -1,0 +1,156 @@
+// Lock-free single-producer / single-consumer byte ring with contiguous
+// reservation.
+//
+// The record hot path must hand log batches from each recording thread to
+// the spool writer without taking a lock or allocating: one ring per
+// producer thread, the writer thread as the single consumer of all of
+// them.  Under that SPSC discipline no CAS is ever needed — each index has
+// exactly one writer:
+//
+//   tail_  — written only by the producer (release), read by the consumer
+//            (acquire).  The release-store publishes every byte the
+//            producer wrote into the reservation: a consumer that
+//            acquire-loads the new tail is guaranteed to see the bytes.
+//   head_  — written only by the consumer (release), read by the producer
+//            (acquire).  The release-store returns the consumed bytes to
+//            the producer: a producer that acquire-loads the new head may
+//            safely overwrite them.
+//
+// Both indices are free-running 64-bit counters (masked on access), so
+// full/empty is plain subtraction and the ABA problem cannot arise.  They
+// live on separate cache lines, as do each side's private fields
+// (producer: local tail + cached head; consumer: local head + cached
+// tail), so steady-state operation touches the other side's line only when
+// the cached index goes stale — not on every call.
+//
+// Contiguous reservation: try_reserve(n) returns a pointer to n bytes that
+// never wrap the buffer edge, so callers build records with plain stores
+// and memcpy, no split-copy logic.  When fewer than n bytes remain before
+// the edge, the producer stamps kPadByte at the current position and the
+// reservation starts at offset 0; the skipped run is dead space.  A
+// consumer that only ever consumes whole records therefore sits at a
+// record boundary whenever it looks at the buffer, and can detect the pad
+// by its first byte — the framing layer above guarantees real records
+// never begin with kPadByte — and skip to the buffer edge (the pad always
+// extends exactly that far).
+//
+// The ring itself never blocks: a full ring fails try_reserve and an empty
+// ring returns a zero-length readable run.  Parking (producer backpressure,
+// consumer idle) is the caller's business — see record/log_spool.cc.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/errors.h"
+
+namespace djvu {
+
+class SpscRing {
+ public:
+  /// First byte of a wrap pad; real records must never start with it.
+  static constexpr std::uint8_t kPadByte = 0xff;
+
+  /// Capacity is rounded up to a power of two (min 64 bytes) so index
+  /// masking is a single AND.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 64;
+    while (cap < capacity) cap <<= 1;
+    cap_ = cap;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<std::uint8_t[]>(cap_);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return cap_; }
+
+  // --- producer side --------------------------------------------------------
+
+  /// Reserves n contiguous bytes, inserting a wrap pad when the edge is
+  /// near; nullptr when the ring lacks room (try again after the consumer
+  /// drains).  The bytes become visible to the consumer only on publish().
+  /// n must leave the pad room to make progress: at most capacity()/2.
+  std::uint8_t* try_reserve(std::size_t n) {
+    if (n == 0 || n > cap_ / 2) {
+      throw UsageError("SpscRing::try_reserve: bad size " + std::to_string(n));
+    }
+    const std::size_t off = static_cast<std::size_t>(tail_local_ & mask_);
+    const std::size_t to_end = cap_ - off;
+    const std::size_t needed = to_end >= n ? n : to_end + n;
+    if (tail_local_ + needed - cached_head_ > cap_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail_local_ + needed - cached_head_ > cap_) return nullptr;
+    }
+    reserved_ = needed;
+    if (to_end >= n) return buf_.get() + off;
+    buf_[off] = kPadByte;  // consumer skips [off, cap_) on sight
+    return buf_.get();
+  }
+
+  /// Publishes the bytes of the last try_reserve (pad included) with one
+  /// release store.
+  void publish() {
+    tail_local_ += reserved_;
+    reserved_ = 0;
+    tail_.store(tail_local_, std::memory_order_release);
+  }
+
+  /// Bytes currently resident as the producer sees them (conservative: the
+  /// cached head lags the consumer).  Producer thread only.
+  std::size_t occupancy_producer() const {
+    return static_cast<std::size_t>(tail_local_ - cached_head_);
+  }
+
+  // --- consumer side --------------------------------------------------------
+
+  /// The longest contiguous readable run: sets *data and returns its
+  /// length, 0 when the ring is (or appears) empty.  The run always ends at
+  /// a record boundary or the buffer edge — records never straddle the edge
+  /// by construction, and the producer publishes only whole records.
+  std::size_t readable(const std::uint8_t** data) {
+    if (cached_tail_ == head_local_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head_local_) return 0;
+    }
+    const std::size_t off = static_cast<std::size_t>(head_local_ & mask_);
+    const std::uint64_t avail = cached_tail_ - head_local_;
+    const std::size_t to_end = cap_ - off;
+    *data = buf_.get() + off;
+    return avail < to_end ? static_cast<std::size_t>(avail) : to_end;
+  }
+
+  /// Returns n consumed bytes to the producer with one release store.
+  void consume(std::size_t n) {
+    head_local_ += n;
+    head_.store(head_local_, std::memory_order_release);
+  }
+
+  /// Racy emptiness probe (any thread): true when no published bytes are
+  /// pending.  Used by the writer's idle/finish sweeps, where the seq_cst
+  /// parking fence — not this load — carries the correctness argument.
+  bool empty_approx() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Shared, read-only after construction.
+  std::unique_ptr<std::uint8_t[]> buf_;
+  std::size_t cap_ = 0;
+  std::uint64_t mask_ = 0;
+
+  // One cache line per published index, one per side's private state.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};   // producer publishes
+  alignas(64) std::atomic<std::uint64_t> head_{0};   // consumer publishes
+  alignas(64) std::uint64_t tail_local_ = 0;         // producer-private
+  std::uint64_t cached_head_ = 0;
+  std::size_t reserved_ = 0;
+  alignas(64) std::uint64_t head_local_ = 0;         // consumer-private
+  std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace djvu

@@ -1,11 +1,13 @@
 #include "record/log_spool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32.h"
 #include "record/serializer.h"
 #include "record/spool_codec.h"
+#include "record/wire_format.h"
 
 namespace djvu::record {
 namespace {
@@ -32,9 +34,29 @@ constexpr std::uint32_t kMaxChunkLen = 64u << 20;
 /// Records per synthesized kTrace item when streaming a DJVUTRC1 file.
 constexpr std::size_t kTraceFileBatch = 512;
 
+/// Rings below this are useless (a record ceiling of capacity/4 must fit a
+/// header plus at least one interval/trace entry with room for the spill
+/// escape hatch), so SpoolRing rounds small requests up.
+constexpr std::size_t kMinRingBytes = 4096;
+
+/// Backstop for the producer's full-ring park and the writer's idle park.
+/// The seq_cst fence protocols (see SpoolRing / writer_parked_) make wakes
+/// reliable; the timeouts only bound the cost of the residual
+/// notify-before-wait races.
+constexpr auto kProducerParkBackstop = std::chrono::milliseconds(1);
+constexpr auto kWriterParkBackstop = std::chrono::milliseconds(50);
+
 std::uint32_t le32(const std::uint8_t* p) {
   return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
          (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_max_relaxed(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  // Single-writer slots only (one producer, or under a lock): a plain
+  // load/compare/store max, relaxed because readers only sample.
+  if (v > slot.load(std::memory_order_relaxed)) {
+    slot.store(v, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace
@@ -88,11 +110,10 @@ std::pair<ThreadNum, NetworkLogEntry> decode_network_item(BytesView body) {
 }
 
 Bytes encode_trace_item(const std::vector<sched::TraceRecord>& records) {
-  // Hot path: this runs once per flushed trace batch, over every critical
-  // event of a spooled recording.  Reserving for the common small-delta
-  // case (and spilling per-byte only when a vector grows) keeps it to a
-  // few ns per record where the generic ByteWriter costs several times
-  // that in per-byte capacity checks.
+  // Hot path of the queue mode (ring mode defers this to the writer too,
+  // via fixed-width wire records): reserving for the common small-delta
+  // case keeps it to a few ns per record where the generic ByteWriter
+  // costs several times that in per-byte capacity checks.
   Bytes out;
   out.reserve(records.size() * 14 + 10);
   auto put_varint = [&out](std::uint64_t v) {
@@ -157,9 +178,8 @@ SpoolFinish decode_finish_item(BytesView body) {
 
 Bytes encode_causal_item(ThreadNum thread,
                          const std::vector<std::uint64_t>& seqs) {
-  // Raw varints: the per-thread seq stream is per-key monotone but
-  // interleaved across keys, so no cross-entry delta applies.  Each item is
-  // self-contained, like every other kind.
+  // Raw varints, the pre-delta encoding: kept for byte-compatibility tests
+  // and old spools; writers emit kCausalDelta now.
   ByteWriter w;
   w.varint(thread);
   w.varint(seqs.size());
@@ -175,6 +195,42 @@ std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_item(
   std::vector<std::uint64_t> seqs;
   seqs.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) seqs.push_back(r.varint());
+  if (!r.at_end()) throw LogFormatError("trailing bytes in causal item");
+  return {thread, std::move(seqs)};
+}
+
+Bytes encode_causal_delta_item(ThreadNum thread,
+                               const std::vector<std::uint64_t>& seqs) {
+  // First seq absolute, the rest zigzag-encoded deltas: one thread's
+  // stream interleaves keys, so deltas are small-but-signed — zigzag keeps
+  // the occasional step backwards cheap instead of 10 bytes.
+  ByteWriter w;
+  w.varint(thread);
+  w.varint(seqs.size());
+  if (!seqs.empty()) {
+    w.varint(seqs.front());
+    for (std::size_t i = 1; i < seqs.size(); ++i) {
+      w.varint(zigzag_encode(static_cast<std::int64_t>(seqs[i] - seqs[i - 1])));
+    }
+  }
+  return w.take();
+}
+
+std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_delta_item(
+    BytesView body) {
+  ByteReader r(body);
+  const auto thread = static_cast<ThreadNum>(r.varint());
+  const std::uint64_t n = r.varint();
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(n);
+  if (n > 0) {
+    std::uint64_t prev = r.varint();
+    seqs.push_back(prev);
+    for (std::uint64_t i = 1; i < n; ++i) {
+      prev += static_cast<std::uint64_t>(zigzag_decode(r.varint()));
+      seqs.push_back(prev);
+    }
+  }
   if (!r.at_end()) throw LogFormatError("trailing bytes in causal item");
   return {thread, std::move(seqs)};
 }
@@ -199,7 +255,7 @@ LogSpooler::LogSpooler(DjvmId vm_id, Options options)
     file_ = nullptr;
     throw Error("cannot write spool header to " + options_.path);
   }
-  stats_.written_bytes = hv.size();
+  counters_.written_bytes.store(hv.size(), std::memory_order_relaxed);
   writer_ = std::thread([this] { writer_main(); });
 }
 
@@ -212,31 +268,33 @@ LogSpooler::~LogSpooler() {
   }
 }
 
+// --- queue-path producers (LogSink) -----------------------------------------
+
 void LogSpooler::schedule_batch(ThreadNum thread,
                                 const sched::IntervalList& intervals) {
   if (intervals.empty()) return;
   enqueue({SpoolItemKind::kSchedule, encode_schedule_item(thread, intervals),
-           /*records=*/{}, /*own_chunk=*/false});
+           /*records=*/{}, /*cost=*/0});
 }
 
 void LogSpooler::network_entry(ThreadNum thread, const NetworkLogEntry& entry) {
   enqueue({SpoolItemKind::kNetwork, encode_network_item(thread, entry),
-           /*records=*/{}, /*own_chunk=*/false});
+           /*records=*/{}, /*cost=*/0});
 }
 
 void LogSpooler::trace_batch(std::vector<sched::TraceRecord> records) {
   if (records.empty()) return;
   // Raw records ride the queue; the writer thread serializes them, so the
   // recording thread pays only for the vector handoff here.
-  Item item{SpoolItemKind::kTrace, {}, std::move(records)};
+  Item item{SpoolItemKind::kTrace, {}, std::move(records), /*cost=*/0};
   enqueue(std::move(item));
 }
 
 void LogSpooler::causal_batch(ThreadNum thread,
                               const std::vector<std::uint64_t>& seqs) {
   if (seqs.empty()) return;
-  enqueue({SpoolItemKind::kCausal, encode_causal_item(thread, seqs),
-           /*records=*/{}, /*own_chunk=*/false});
+  enqueue({SpoolItemKind::kCausalDelta, encode_causal_delta_item(thread, seqs),
+           /*records=*/{}, /*cost=*/0});
 }
 
 void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
@@ -245,10 +303,12 @@ void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
     if (finished_) throw UsageError("LogSpooler::finish called twice");
     finished_ = true;
   }
-  // Its own chunk: a torn final chunk then costs exactly the clean-end
-  // marker, never schedule/network/trace data sealed earlier.
+  // The finish item rides the queue whatever the mode; the writer stashes
+  // it and seals it into its own final chunk only after the queue and
+  // every ring have drained, so it is always the last item on disk and a
+  // torn final chunk costs exactly the clean-end marker.
   enqueue({SpoolItemKind::kFinish, encode_finish_item({stats, thread_count}),
-           /*records=*/{}, /*own_chunk=*/true});
+           /*records=*/{}, /*cost=*/0});
 }
 
 void LogSpooler::enqueue(Item item) {
@@ -270,55 +330,460 @@ void LogSpooler::enqueue(Item item) {
   });
   if (writer_error_) std::rethrow_exception(writer_error_);
   if (closing_) throw UsageError("LogSpooler used after close()");
-  if (blocked) ++stats_.producer_blocks;
+  if (blocked) {
+    counters_.producer_blocks.fetch_add(1, std::memory_order_relaxed);
+  }
   pending_bytes_ += cost;
-  stats_.queue_high_water_bytes =
-      std::max<std::uint64_t>(stats_.queue_high_water_bytes, pending_bytes_);
-  ++stats_.items_enqueued;
+  store_max_relaxed(counters_.queue_high_water_bytes, pending_bytes_);
+  counters_.items_enqueued.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(item));
   writer_cv_.notify_one();
 }
 
-void LogSpooler::writer_main() {
-  ByteWriter chunk;
-  try {
-    for (;;) {
-      Item item;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        writer_cv_.wait(lock, [&] { return !queue_.empty() || closing_; });
-        if (queue_.empty()) break;  // closing_ and drained
-        item = std::move(queue_.front());
-        queue_.pop_front();
-        pending_bytes_ -= item.cost;
-        producer_cv_.notify_all();
-      }
-      if (!item.records.empty()) {
-        // Deferred serialization: trace batches are encoded here, off the
-        // producers' critical path.
-        item.body = encode_trace_item(item.records);
-        item.records.clear();
-      }
-      if (item.own_chunk && chunk.size() > 0) {
-        write_chunk(chunk.view());
-        chunk = ByteWriter();
-      }
-      chunk.u8(static_cast<std::uint8_t>(item.kind))
-          .varint(item.body.size())
-          .raw(item.body);
-      if (item.own_chunk || chunk.size() >= options_.chunk_bytes) {
-        write_chunk(chunk.view());
-        chunk = ByteWriter();
-      }
-    }
-    if (chunk.size() > 0) write_chunk(chunk.view());
-  } catch (...) {
+// --- ring-path producers ----------------------------------------------------
+
+SpoolRing* LogSpooler::register_ring() {
+  if (!options_.ring) return nullptr;
+  auto ring = std::make_unique<SpoolRing>(
+      std::max(options_.ring_bytes, kMinRingBytes));
+  // Record ceiling: a quarter of the ring, so backpressure engages well
+  // before a single record could deadlock against the capacity/2 reserve
+  // limit; never beyond the u16 length field.
+  ring->max_record = std::min(wire::kHeaderBytes + wire::kMaxWirePayload,
+                              ring->ring.capacity() / 4);
+  SpoolRing* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::move(ring));
+    ring_count_.store(rings_.size(), std::memory_order_release);
+  }
+  return raw;
+}
+
+void LogSpooler::check_producer_abort() {
+  if (failed_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(mutex_);
-    writer_error_ = std::current_exception();
-    // Unblock producers: their next enqueue rethrows the error.
-    queue_.clear();
+    if (writer_error_) std::rethrow_exception(writer_error_);
+    throw Error("spool writer failed");
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    throw UsageError("LogSpooler used after close()");
+  }
+}
+
+std::uint8_t* LogSpooler::reserve_record(SpoolRing& ring, std::size_t bytes) {
+  std::uint8_t* p = ring.ring.try_reserve(bytes);
+  if (p != nullptr) return p;
+  // Full ring: park.  Dekker handshake with the writer's drain — we store
+  // producer_waiting, fence, and re-try (which acquire-loads head); the
+  // writer stores head, fences, and loads producer_waiting.  One side must
+  // see the other, so either the retry finds the freed space or the wake
+  // is delivered; the timed wait bounds the residual notify-before-wait
+  // window.
+  ring.blocks.fetch_add(1, std::memory_order_relaxed);
+  ring.producer_waiting.store(true, std::memory_order_relaxed);
+  for (;;) {
+    check_producer_abort();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    p = ring.ring.try_reserve(bytes);
+    if (p != nullptr) {
+      ring.producer_waiting.store(false, std::memory_order_relaxed);
+      return p;
+    }
+    std::unique_lock<std::mutex> lock(ring.mutex);
+    ring.cv.wait_for(lock, kProducerParkBackstop);
+  }
+}
+
+void LogSpooler::publish_record(SpoolRing& ring) {
+  ring.ring.publish();
+  ring.records.fetch_add(1, std::memory_order_relaxed);
+  store_max_relaxed(ring.high_water, ring.ring.occupancy_producer());
+  // Wake a parked writer.  Mirror-image Dekker to the one above: publish
+  // stored tail, fence, load writer_parked_; the writer stores
+  // writer_parked_, fences, and re-sweeps the rings before sleeping.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (writer_parked_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ring_wake_pending_ = true;
+    }
+    writer_cv_.notify_one();
+  }
+}
+
+void LogSpooler::spill_record(SpoolRing& ring, SpoolItemKind kind, Bytes body) {
+  auto box = std::make_unique<wire::WireSpill>();
+  box->kind = static_cast<std::uint8_t>(kind);
+  box->body = std::move(body);
+  std::uint8_t* p = reserve_record(ring, wire::kHeaderBytes + 8);
+  wire::put_u64(p + wire::kHeaderBytes,
+                reinterpret_cast<std::uint64_t>(box.get()));
+  wire::seal_header(p, wire::WireKind::kSpill, 8);
+  publish_record(ring);
+  box.release();  // the writer takes ownership when it drains the record
+}
+
+void LogSpooler::schedule_batch(SpoolRing* ring, ThreadNum thread,
+                                const sched::IntervalList& intervals) {
+  if (intervals.empty()) return;
+  if (ring == nullptr) {
+    schedule_batch(thread, intervals);
+    return;
+  }
+  check_producer_abort();
+  const std::size_t per = (ring->max_record - wire::kHeaderBytes - 4) / 16;
+  for (std::size_t off = 0; off < intervals.size(); off += per) {
+    const std::size_t n = std::min(per, intervals.size() - off);
+    const std::size_t len = 4 + 16 * n;
+    std::uint8_t* p = reserve_record(*ring, wire::kHeaderBytes + len);
+    std::uint8_t* q = p + wire::kHeaderBytes;
+    wire::put_u32(q, thread);
+    for (std::size_t i = 0; i < n; ++i) {
+      wire::put_u64(q + 4 + 16 * i, intervals[off + i].first);
+      wire::put_u64(q + 4 + 16 * i + 8, intervals[off + i].last);
+    }
+    wire::seal_header(p, wire::WireKind::kSchedule, len);
+    publish_record(*ring);
+  }
+}
+
+void LogSpooler::network_entry(SpoolRing* ring, ThreadNum thread,
+                               const NetworkLogEntry& entry) {
+  if (ring == nullptr) {
+    network_entry(thread, entry);
+    return;
+  }
+  check_producer_abort();
+  // Network entries are unsliceable (one entry = one item) and carry
+  // payload bytes, so serialization happens here; network events are
+  // syscalls, not lock-path events, and can afford it.
+  ByteWriter w;
+  write_network_entry(w, entry);
+  const BytesView bytes = w.view();
+  const std::size_t len = 4 + bytes.size();
+  if (wire::kHeaderBytes + len <= ring->max_record) {
+    std::uint8_t* p = reserve_record(*ring, wire::kHeaderBytes + len);
+    std::uint8_t* q = p + wire::kHeaderBytes;
+    wire::put_u32(q, thread);
+    std::memcpy(q + 4, bytes.data(), bytes.size());
+    wire::seal_header(p, wire::WireKind::kNetwork, len);
+    publish_record(*ring);
+  } else {
+    // Oversized: spill the already-encoded DJVUSPL1 item body; the pointer
+    // record keeps this entry in the thread's FIFO position.
+    spill_record(*ring, SpoolItemKind::kNetwork,
+                 encode_network_item(thread, entry));
+  }
+}
+
+void LogSpooler::trace_batch(SpoolRing* ring,
+                             const std::vector<sched::TraceRecord>& records) {
+  if (records.empty()) return;
+  if (ring == nullptr) {
+    trace_batch(records);  // copies; queue mode callers prefer the
+                           // by-value LogSink overload directly
+    return;
+  }
+  check_producer_abort();
+  const std::size_t per =
+      (ring->max_record - wire::kHeaderBytes) / wire::kTraceWireBytes;
+  for (std::size_t off = 0; off < records.size(); off += per) {
+    const std::size_t n = std::min(per, records.size() - off);
+    const std::size_t len = n * wire::kTraceWireBytes;
+    std::uint8_t* p = reserve_record(*ring, wire::kHeaderBytes + len);
+    std::uint8_t* q = p + wire::kHeaderBytes;
+    for (std::size_t i = 0; i < n; ++i) {
+      wire::put_trace(q + i * wire::kTraceWireBytes, records[off + i]);
+    }
+    wire::seal_header(p, wire::WireKind::kTrace, len);
+    publish_record(*ring);
+  }
+}
+
+void LogSpooler::causal_batch(SpoolRing* ring, ThreadNum thread,
+                              const std::vector<std::uint64_t>& seqs) {
+  if (seqs.empty()) return;
+  if (ring == nullptr) {
+    causal_batch(thread, seqs);
+    return;
+  }
+  check_producer_abort();
+  const std::size_t per = (ring->max_record - wire::kHeaderBytes - 4) / 8;
+  for (std::size_t off = 0; off < seqs.size(); off += per) {
+    const std::size_t n = std::min(per, seqs.size() - off);
+    const std::size_t len = 4 + 8 * n;
+    std::uint8_t* p = reserve_record(*ring, wire::kHeaderBytes + len);
+    std::uint8_t* q = p + wire::kHeaderBytes;
+    wire::put_u32(q, thread);
+    for (std::size_t i = 0; i < n; ++i) {
+      wire::put_u64(q + 4 + 8 * i, seqs[off + i]);
+    }
+    wire::seal_header(p, wire::WireKind::kCausal, len);
+    publish_record(*ring);
+  }
+}
+
+// --- writer thread ----------------------------------------------------------
+
+void LogSpooler::append_item(std::uint8_t kind, BytesView body) {
+  chunk_.u8(kind).varint(body.size()).raw(body);
+  if (chunk_.size() >= options_.chunk_bytes) flush_chunk();
+}
+
+void LogSpooler::flush_chunk() {
+  if (chunk_.size() == 0) return;
+  write_chunk(chunk_.view());
+  chunk_ = ByteWriter();
+}
+
+bool LogSpooler::drain_queue() {
+  std::deque<Item> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    batch.swap(queue_);
     pending_bytes_ = 0;
     producer_cv_.notify_all();
+  }
+  for (Item& item : batch) {
+    if (item.kind == SpoolItemKind::kFinish) {
+      finish_body_ = std::move(item.body);
+      finish_pending_ = true;
+      continue;
+    }
+    if (!item.records.empty()) {
+      // Deferred serialization: trace batches are encoded here, off the
+      // producers' critical path.
+      item.body = encode_trace_item(item.records);
+      item.records.clear();
+    }
+    append_item(static_cast<std::uint8_t>(item.kind), item.body);
+  }
+  return true;
+}
+
+bool LogSpooler::drain_ring(SpoolRing& ring) {
+  bool progress = false;
+  for (;;) {
+    const std::uint8_t* data = nullptr;
+    const std::size_t n = ring.ring.readable(&data);
+    if (n == 0) break;
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (data[pos] == SpscRing::kPadByte) {
+        // Wrap pad: dead space to the buffer edge, which is exactly where
+        // this readable run ends.
+        pos = n;
+        break;
+      }
+      // The producer publishes only whole records and records never cross
+      // the buffer edge, so a run always ends at a record boundary; a
+      // partial or corrupt record here is a handoff bug, not a torn tail.
+      wire::WireHeader h;
+      if (n - pos < wire::kHeaderBytes || !wire::parse_header(data + pos, &h) ||
+          n - pos < wire::kHeaderBytes + h.len) {
+        throw Error("spool ring handoff corrupted (framing)");
+      }
+      const std::uint8_t* payload = data + pos + wire::kHeaderBytes;
+      if (!wire::payload_ok(h, payload)) {
+        throw Error("spool ring handoff corrupted (record CRC)");
+      }
+      handle_wire_record(h, payload);
+      pos += wire::kHeaderBytes + h.len;
+    }
+    ring.ring.consume(pos);
+    progress = true;
+    // Wake a producer parked on this ring (Dekker partner of
+    // reserve_record's store-fence-retry).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ring.producer_waiting.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(ring.mutex);
+      ring.cv.notify_one();
+    }
+  }
+  return progress;
+}
+
+void LogSpooler::handle_wire_record(const wire::WireHeader& h,
+                                    const std::uint8_t* payload) {
+  switch (h.kind) {
+    case wire::WireKind::kSchedule: {
+      if (h.len < 4 || (h.len - 4) % 16 != 0) {
+        throw Error("spool ring schedule record has bad length");
+      }
+      const ThreadNum thread = static_cast<ThreadNum>(wire::get_u32(payload));
+      const std::size_t n = (h.len - 4) / 16;
+      sched::IntervalList list;
+      list.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        list.push_back({wire::get_u64(payload + 4 + 16 * i),
+                        wire::get_u64(payload + 4 + 16 * i + 8)});
+      }
+      append_item(static_cast<std::uint8_t>(SpoolItemKind::kSchedule),
+                  encode_schedule_item(thread, list));
+      break;
+    }
+    case wire::WireKind::kNetwork: {
+      if (h.len < 4) throw Error("spool ring network record has bad length");
+      // The wire payload past the thread id is already the shared
+      // network-entry encoding — reframe without decoding it.
+      const ThreadNum thread = static_cast<ThreadNum>(wire::get_u32(payload));
+      ByteWriter w;
+      w.varint(thread);
+      w.raw(BytesView(payload + 4, h.len - 4));
+      append_item(static_cast<std::uint8_t>(SpoolItemKind::kNetwork),
+                  w.view());
+      break;
+    }
+    case wire::WireKind::kTrace: {
+      if (h.len % wire::kTraceWireBytes != 0) {
+        throw Error("spool ring trace record has bad length");
+      }
+      const std::size_t n = h.len / wire::kTraceWireBytes;
+      trace_scratch_.clear();
+      trace_scratch_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        trace_scratch_.push_back(
+            wire::get_trace(payload + i * wire::kTraceWireBytes));
+      }
+      append_item(static_cast<std::uint8_t>(SpoolItemKind::kTrace),
+                  encode_trace_item(trace_scratch_));
+      break;
+    }
+    case wire::WireKind::kCausal: {
+      if (h.len < 4 || (h.len - 4) % 8 != 0) {
+        throw Error("spool ring causal record has bad length");
+      }
+      const ThreadNum thread = static_cast<ThreadNum>(wire::get_u32(payload));
+      std::vector<std::uint64_t> seqs;
+      const std::size_t n = (h.len - 4) / 8;
+      seqs.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        seqs.push_back(wire::get_u64(payload + 4 + 8 * i));
+      }
+      append_item(static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta),
+                  encode_causal_delta_item(thread, seqs));
+      break;
+    }
+    case wire::WireKind::kFinish: {
+      if (h.len != wire::kFinishWireBytes) {
+        throw Error("spool ring finish record has bad length");
+      }
+      SpoolFinish finish;
+      finish.stats.critical_events = wire::get_u64(payload);
+      finish.stats.network_events = wire::get_u64(payload + 8);
+      finish.thread_count = wire::get_u32(payload + 16);
+      finish_body_ = encode_finish_item(finish);
+      finish_pending_ = true;
+      break;
+    }
+    case wire::WireKind::kSpill: {
+      if (h.len != 8) throw Error("spool ring spill record has bad length");
+      std::unique_ptr<wire::WireSpill> box(reinterpret_cast<wire::WireSpill*>(
+          static_cast<std::uintptr_t>(wire::get_u64(payload))));
+      append_item(box->kind, box->body);
+      break;
+    }
+    default:
+      throw Error("spool ring record has unknown kind " +
+                  std::to_string(static_cast<unsigned>(h.kind)));
+  }
+}
+
+bool LogSpooler::all_channels_empty() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!queue_.empty()) return false;
+  }
+  if (ring_cache_.size() != ring_count_.load(std::memory_order_acquire)) {
+    return false;  // unseen ring; the next sweep picks it up
+  }
+  for (SpoolRing* ring : ring_cache_) {
+    if (!ring->ring.empty_approx()) return false;
+  }
+  return true;
+}
+
+void LogSpooler::seal_finish() {
+  flush_chunk();
+  chunk_.u8(static_cast<std::uint8_t>(SpoolItemKind::kFinish))
+      .varint(finish_body_.size())
+      .raw(finish_body_);
+  write_chunk(chunk_.view());
+  chunk_ = ByteWriter();
+  finish_pending_ = false;
+}
+
+void LogSpooler::writer_main() {
+  try {
+    for (;;) {
+      bool progress = drain_queue();
+      if (ring_cache_.size() != ring_count_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        ring_cache_.clear();
+        ring_cache_.reserve(rings_.size());
+        for (const auto& ring : rings_) ring_cache_.push_back(ring.get());
+      }
+      for (SpoolRing* ring : ring_cache_) {
+        progress = drain_ring(*ring) || progress;
+      }
+      if (progress) continue;
+      // Quiescent sweep.  The finish item (whatever channel it arrived on)
+      // seals only once every channel is drained, so it is last on disk;
+      // the release-publish the finishing thread did before handing it
+      // over makes everything earlier visible to the sweeps above.
+      if (finish_pending_ && all_channels_empty()) seal_finish();
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!queue_.empty() || ring_wake_pending_) {
+        ring_wake_pending_ = false;
+        continue;
+      }
+      if (closing_) {
+        lock.unlock();
+        if (all_channels_empty()) break;
+        continue;
+      }
+      // Idle park.  Dekker partner of publish_record: store parked, fence,
+      // re-sweep; a publish that missed the parked flag happened before
+      // our fence and its record is visible to this sweep.
+      writer_parked_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      bool pending = ring_cache_.size() !=
+                     ring_count_.load(std::memory_order_acquire);
+      for (SpoolRing* ring : ring_cache_) {
+        if (pending) break;
+        pending = !ring->ring.empty_approx();
+      }
+      if (pending) {
+        writer_parked_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      counters_.writer_parks.fetch_add(1, std::memory_order_relaxed);
+      writer_cv_.wait_for(lock, kWriterParkBackstop, [&] {
+        return !queue_.empty() || ring_wake_pending_ || closing_;
+      });
+      writer_parked_.store(false, std::memory_order_relaxed);
+      ring_wake_pending_ = false;
+    }
+    // Abnormal close (no finish item): flush whatever was packed so the
+    // file recovers as a prefix.
+    flush_chunk();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      writer_error_ = std::current_exception();
+      // Unblock producers: their next handoff rethrows the error.
+      queue_.clear();
+      pending_bytes_ = 0;
+    }
+    failed_.store(true, std::memory_order_release);
+    producer_cv_.notify_all();
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      ring->cv.notify_all();
+    }
   }
 }
 
@@ -343,10 +808,10 @@ void LogSpooler::write_chunk(BytesView payload) {
       std::fflush(file_) != 0) {
     throw Error("spool write failed: " + options_.path);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.chunks_written;
-  stats_.raw_bytes += payload.size();
-  stats_.written_bytes += fv.size() + out.size();
+  counters_.chunks_written.fetch_add(1, std::memory_order_relaxed);
+  counters_.raw_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  counters_.written_bytes.fetch_add(fv.size() + out.size(),
+                                    std::memory_order_relaxed);
 }
 
 void LogSpooler::close() {
@@ -358,6 +823,7 @@ void LogSpooler::close() {
     }
     closing_ = true;
   }
+  closed_.store(true, std::memory_order_release);
   writer_cv_.notify_all();
   producer_cv_.notify_all();
   if (writer_.joinable()) writer_.join();
@@ -370,8 +836,25 @@ void LogSpooler::close() {
 }
 
 SpoolStats LogSpooler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  SpoolStats s;
+  s.items_enqueued = counters_.items_enqueued.load(std::memory_order_relaxed);
+  s.chunks_written = counters_.chunks_written.load(std::memory_order_relaxed);
+  s.raw_bytes = counters_.raw_bytes.load(std::memory_order_relaxed);
+  s.written_bytes = counters_.written_bytes.load(std::memory_order_relaxed);
+  s.queue_high_water_bytes =
+      counters_.queue_high_water_bytes.load(std::memory_order_relaxed);
+  s.producer_blocks =
+      counters_.producer_blocks.load(std::memory_order_relaxed);
+  s.writer_parks = counters_.writer_parks.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    s.ring_records += ring->records.load(std::memory_order_relaxed);
+    s.producer_blocks += ring->blocks.load(std::memory_order_relaxed);
+    s.ring_high_water_bytes =
+        std::max(s.ring_high_water_bytes,
+                 ring->high_water.load(std::memory_order_relaxed));
+  }
+  return s;
 }
 
 // --- LogSource --------------------------------------------------------------
@@ -507,7 +990,7 @@ std::optional<SpoolItem> LogSource::next_spool_item() {
     SpoolItem item;
     const std::uint8_t kind = r.u8();
     if (kind < static_cast<std::uint8_t>(SpoolItemKind::kSchedule) ||
-        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausal)) {
+        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta)) {
       throw LogFormatError("unknown spool item kind " + std::to_string(kind));
     }
     item.kind = static_cast<SpoolItemKind>(kind);
@@ -578,6 +1061,16 @@ std::optional<sched::TraceRecord> TraceRecordStream::next() {
 
 namespace {
 
+void append_causal(VmLog& log, ThreadNum thread,
+                   const std::vector<std::uint64_t>& seqs) {
+  auto& per_thread = log.causal.per_thread;
+  if (per_thread.size() <= thread) per_thread.resize(thread + 1);
+  auto& dst = per_thread[thread];
+  // Same FIFO argument as schedule batches: one thread's causal batches
+  // arrive in program order, so appending reconstructs its seq list.
+  dst.insert(dst.end(), seqs.begin(), seqs.end());
+}
+
 void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
   switch (item.kind) {
     case SpoolItemKind::kSchedule: {
@@ -586,8 +1079,8 @@ void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
       if (per_thread.size() <= thread) per_thread.resize(thread + 1);
       auto& dst = per_thread[thread];
       // Batches of one thread arrive in schedule order (drained by the
-      // owning thread through a FIFO queue), so appending reconstructs the
-      // recorder's list exactly.
+      // owning thread through a FIFO channel), so appending reconstructs
+      // the recorder's list exactly.
       dst.insert(dst.end(), list.begin(), list.end());
       break;
     }
@@ -605,12 +1098,12 @@ void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
     }
     case SpoolItemKind::kCausal: {
       auto [thread, seqs] = decode_causal_item(item.body);
-      auto& per_thread = log.causal.per_thread;
-      if (per_thread.size() <= thread) per_thread.resize(thread + 1);
-      auto& dst = per_thread[thread];
-      // Same FIFO argument as schedule batches: one thread's causal batches
-      // arrive in program order, so appending reconstructs its seq list.
-      dst.insert(dst.end(), seqs.begin(), seqs.end());
+      append_causal(log, thread, seqs);
+      break;
+    }
+    case SpoolItemKind::kCausalDelta: {
+      auto [thread, seqs] = decode_causal_delta_item(item.body);
+      append_causal(log, thread, seqs);
       break;
     }
     case SpoolItemKind::kFinish: {

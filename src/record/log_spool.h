@@ -4,12 +4,29 @@
 // The in-memory record path accumulates the whole VmLog (schedule +
 // network log) and every thread's trace buffer until the run ends — O(run
 // length) resident memory, and a crash loses everything.  The spooler
-// converts that to O(buffer): recording threads hand their batches to a
-// bounded byte-accounted queue, a background writer thread packs them into
-// self-delimiting CRC'd chunks and appends them to one spool file per
-// recording VM, flushing chunk by chunk.  Replay streams the file back
-// through LogSource into the existing IntervalCursor / network-log
-// machinery without ever materializing the serialized bundle or the trace.
+// converts that to O(buffer): recording threads hand their batches to the
+// background writer thread, which packs them into self-delimiting CRC'd
+// chunks and appends them to one spool file per recording VM, flushing
+// chunk by chunk.  Replay streams the file back through LogSource into the
+// existing IntervalCursor / network-log machinery without ever
+// materializing the serialized bundle or the trace.
+//
+// Two producer paths feed the writer:
+//
+//   * Ring mode (Options::ring, the default): each recording thread owns a
+//     lock-free SPSC byte ring (common/spsc_ring.h) registered with
+//     register_ring().  A batch handoff is a contiguous reservation, a
+//     fixed-width little-endian record built with plain stores
+//     (record/wire_format.h: magic, kind, u16 length, per-record CRC32),
+//     and one release-store publish — no mutex, no condvar, no allocation
+//     on the producer side.  The writer round-robins the rings, CRC-checks
+//     each record, and reframes it into DJVUSPL1 items, so the on-disk
+//     format is untouched.  A full ring parks its producer on a per-ring
+//     condvar (counted in producer_blocks) — backpressure still bounds
+//     memory; an idle writer parks until a publish wakes it.
+//   * Queue mode (ring off — the ablation baseline — and the LogSink
+//     virtual interface): batches take a mutex/condvar bounded byte queue,
+//     exactly the pre-ring behaviour.
 //
 // On-disk format DJVUSPL1:
 //
@@ -32,10 +49,13 @@
 // short frame or CRC mismatch — and ends the stream at the last valid
 // chunk boundary instead of rejecting the file; clean_end() distinguishes
 // a finish-marked recording from a recovered prefix.  The finish item is
-// always sealed into its own final chunk, so a torn tail costs at most the
-// clean-end marker plus the final partial batch, never earlier data.
+// always sealed into its own final chunk — and, whatever channel it
+// arrived on, the writer holds it until every ring and the queue have
+// drained — so a torn tail costs at most the clean-end marker plus the
+// final partial batch, never earlier data.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -48,7 +68,9 @@
 
 #include "common/bytes.h"
 #include "common/ids.h"
+#include "common/spsc_ring.h"
 #include "record/trace_io.h"
+#include "record/wire_format.h"
 #include "record/vm_log.h"
 #include "sched/trace.h"
 
@@ -66,6 +88,12 @@ enum class SpoolItemKind : std::uint8_t {
   /// so every pre-causal file remains readable, and pre-causal readers
   /// never meet a causal spool they recorded themselves.
   kCausal = 5,
+  /// Same payload as kCausal, zigzag-delta packed: consecutive seqs of one
+  /// thread usually land near each other even though the stream interleaves
+  /// keys, so signed deltas varint-encode tighter than absolute values.
+  /// Writers emit this kind; kCausal stays readable (same compat argument
+  /// as above).
+  kCausalDelta = 6,
 };
 
 /// One decoded item streamed out of a spool (or trace) file.
@@ -96,9 +124,20 @@ Bytes encode_causal_item(ThreadNum thread,
                          const std::vector<std::uint64_t>& seqs);
 std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_item(
     BytesView body);
+Bytes encode_causal_delta_item(ThreadNum thread,
+                               const std::vector<std::uint64_t>& seqs);
+std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_delta_item(
+    BytesView body);
 
-/// Self-measurements of one spooler run (snapshot; never blocks the
-/// writer).
+/// Self-measurements of one spooler run.
+///
+/// Snapshot semantics: every field is maintained as an atomic counter and
+/// sampled with relaxed loads (stats() never takes the writer's or any
+/// producer's lock and never blocks them).  Each field is therefore exact
+/// as of *some* recent moment, but the set is not a mutually consistent
+/// cut — e.g. a snapshot taken mid-run may show a chunk counted whose
+/// bytes are not yet in written_bytes.  After close() returns, all fields
+/// are final and mutually consistent.
 struct SpoolStats {
   std::uint64_t items_enqueued = 0;
   std::uint64_t chunks_written = 0;
@@ -109,14 +148,26 @@ struct SpoolStats {
   /// File bytes actually written (framing + possibly compressed payloads).
   std::uint64_t written_bytes = 0;
 
-  /// High-water mark of bytes queued between producers and the writer —
-  /// the bounded-memory witness: it never exceeds the configured buffer
-  /// (plus one oversized item, which is admitted alone into an empty
-  /// queue rather than deadlocking).
+  /// High-water mark of bytes queued between producers and the writer on
+  /// the mutex/condvar queue path — the bounded-memory witness: it never
+  /// exceeds the configured buffer (plus one oversized item, which is
+  /// admitted alone into an empty queue rather than deadlocking).
   std::uint64_t queue_high_water_bytes = 0;
 
-  /// Producer enqueues that had to block on backpressure.
+  /// Producer handoffs that had to block on backpressure (queue full, or a
+  /// ring-mode reservation that found its ring full and parked).
   std::uint64_t producer_blocks = 0;
+
+  /// Ring mode: wire records published across all producer rings.
+  std::uint64_t ring_records = 0;
+
+  /// Ring mode: the worst per-ring occupancy any producer observed after a
+  /// publish — the per-thread bounded-memory witness (each ring holds at
+  /// most its capacity, spool_ring_bytes).
+  std::uint64_t ring_high_water_bytes = 0;
+
+  /// Times the writer parked idle (all rings and the queue empty).
+  std::uint64_t writer_parks = 0;
 };
 
 /// Record-side sink for log data.  vm::Vm feeds one of these when spooling
@@ -155,8 +206,42 @@ class LogSink {
   virtual void finish(const RecordStats& stats, std::uint32_t thread_count) = 0;
 };
 
-/// The streaming spooler: a LogSink backed by a bounded queue and a
-/// background writer thread appending DJVUSPL1 chunks to one file.
+/// One recording thread's lock-free handoff lane (ring mode): the SPSC
+/// byte ring, the parking strip for full-ring backpressure, and per-ring
+/// self-measurements.  Producer side: the owning thread, through
+/// LogSpooler's ring-routed batch methods (SPSC — after that thread ends,
+/// the join handoff lets the finishing thread ship its residue).  Consumer
+/// side: always the writer thread.
+struct SpoolRing {
+  explicit SpoolRing(std::size_t bytes) : ring(bytes) {}
+
+  SpscRing ring;
+
+  /// Largest record (header + payload) admitted inline; batch kinds are
+  /// sliced to fit, unsliceable ones (network entries) spill to the heap
+  /// and ship a pointer record (wire::WireSpill).
+  std::size_t max_record = 0;
+
+  /// Full-ring backpressure parking.  The producer stores
+  /// producer_waiting, fences seq_cst, and re-tries the reservation; the
+  /// writer consumes, fences seq_cst, and loads producer_waiting.  One
+  /// side must observe the other (store → fence → load on both), so either
+  /// the retry finds the freed space or the wake is delivered; the timed
+  /// wait below is a backstop, not the correctness argument.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> producer_waiting{false};
+
+  /// Per-ring counters, folded into SpoolStats snapshots.  Single-writer
+  /// each (the producer), published with relaxed stores.
+  std::atomic<std::uint64_t> records{0};
+  std::atomic<std::uint64_t> blocks{0};
+  std::atomic<std::uint64_t> high_water{0};
+};
+
+/// The streaming spooler: a LogSink backed by per-thread SPSC rings (or a
+/// bounded queue) and a background writer thread appending DJVUSPL1 chunks
+/// to one file.
 class LogSpooler : public LogSink {
  public:
   struct Options {
@@ -164,6 +249,11 @@ class LogSpooler : public LogSink {
     std::size_t buffer_bytes = 1 << 20;
     std::size_t chunk_bytes = 64 << 10;
     bool compress = false;
+    /// Lock-free per-thread producer rings; off = every handoff takes the
+    /// mutex/condvar queue (the ablation baseline).
+    bool ring = true;
+    /// Capacity of each producer ring (rounded up to a power of two).
+    std::size_t ring_bytes = 256 << 10;
   };
 
   /// Opens `options.path` for writing and starts the writer thread; throws
@@ -177,10 +267,11 @@ class LogSpooler : public LogSink {
   LogSpooler(const LogSpooler&) = delete;
   LogSpooler& operator=(const LogSpooler&) = delete;
 
-  // LogSink.  All producer calls apply backpressure: they block while the
-  // queue holds buffer_bytes, which is what bounds record-mode memory.  A
-  // writer I/O failure is rethrown to the next producer call (and to
-  // close()), so a full disk surfaces in the recording run.
+  // LogSink (the queue path).  All producer calls apply backpressure: they
+  // block while the queue holds buffer_bytes, which is what bounds
+  // record-mode memory.  A writer I/O failure is rethrown to the next
+  // producer call (and to close()), so a full disk surfaces in the
+  // recording run.
   void schedule_batch(ThreadNum thread,
                       const sched::IntervalList& intervals) override;
   void network_entry(ThreadNum thread, const NetworkLogEntry& entry) override;
@@ -189,10 +280,33 @@ class LogSpooler : public LogSink {
                     const std::vector<std::uint64_t>& seqs) override;
   void finish(const RecordStats& stats, std::uint32_t thread_count) override;
 
-  /// Drains the queue, seals the final chunk, joins the writer and closes
-  /// the file.  Idempotent.  Rethrows any writer-thread error.
+  /// Ring mode: creates and registers the calling (recording) thread's
+  /// producer ring.  nullptr when Options::ring is off — callers then pass
+  /// nullptr to the ring-routed methods below, which fall back to the
+  /// queue.  One registration per producer thread; the spooler owns the
+  /// ring for its own lifetime.
+  SpoolRing* register_ring();
+
+  // Ring-routed handoffs: lock-free fixed-width wire records into `ring`
+  // when non-null (a full ring parks the producer — bounded memory), the
+  // LogSink queue path when null.  Caller discipline matches the LogSink
+  // methods; `ring` must be the calling thread's registered ring (or a
+  // quiesced thread's, at end of record).
+  void schedule_batch(SpoolRing* ring, ThreadNum thread,
+                      const sched::IntervalList& intervals);
+  void network_entry(SpoolRing* ring, ThreadNum thread,
+                     const NetworkLogEntry& entry);
+  void trace_batch(SpoolRing* ring,
+                   const std::vector<sched::TraceRecord>& records);
+  void causal_batch(SpoolRing* ring, ThreadNum thread,
+                    const std::vector<std::uint64_t>& seqs);
+
+  /// Drains the rings and the queue, seals the final chunk, joins the
+  /// writer and closes the file.  Idempotent.  Rethrows any writer-thread
+  /// error.
   void close();
 
+  /// Relaxed-load snapshot (see SpoolStats for its semantics).
   SpoolStats stats() const;
   const std::string& path() const { return options_.path; }
 
@@ -204,15 +318,37 @@ class LogSpooler : public LogSink {
     /// thread — serialization overlaps with the recording threads instead
     /// of taxing their critical events.  Non-empty iff kind == kTrace.
     std::vector<sched::TraceRecord> records;
-    /// Sealed into its own chunk (the finish marker), so a torn final
-    /// chunk never takes earlier items with it.
-    bool own_chunk = false;
     /// Byte-accounting cost charged against buffer_bytes (set by enqueue).
     std::size_t cost = 0;
   };
 
   void enqueue(Item item);
   void writer_main();
+
+  /// Throws when the writer latched an error or the spooler was closed —
+  /// the ring paths' equivalent of enqueue()'s under-lock checks.
+  void check_producer_abort();
+
+  /// Blocking contiguous reservation in `ring` (parks on backpressure).
+  std::uint8_t* reserve_record(SpoolRing& ring, std::size_t bytes);
+
+  /// Publishes the reservation, maintains per-ring stats, wakes a parked
+  /// writer.
+  void publish_record(SpoolRing& ring);
+
+  /// Ships an oversized already-encoded item body through `ring` as a
+  /// heap spill pointer record (preserves per-thread FIFO order).
+  void spill_record(SpoolRing& ring, SpoolItemKind kind, Bytes body);
+
+  // Writer-side helpers.
+  void handle_wire_record(const wire::WireHeader& h,
+                          const std::uint8_t* payload);
+  void append_item(std::uint8_t kind, BytesView body);
+  void flush_chunk();
+  bool drain_ring(SpoolRing& ring);
+  bool drain_queue();
+  bool all_channels_empty();
+  void seal_finish();
   /// Appends one framed chunk to the file and flushes; throws Error on I/O
   /// failure.  Writer thread only.
   void write_chunk(BytesView payload);
@@ -227,8 +363,47 @@ class LogSpooler : public LogSink {
   std::size_t pending_bytes_ = 0;
   bool closing_ = false;
   bool finished_ = false;  // finish() already enqueued
+  /// Ring-mode wake token: set under mutex_ by a producer that saw the
+  /// writer parked, cleared by the writer before it sleeps — closes the
+  /// publish-vs-park race without putting a lock on the publish fast path.
+  bool ring_wake_pending_ = false;
   std::exception_ptr writer_error_;
-  SpoolStats stats_;
+
+  /// Mirrors of closing_/writer_error_ for the lock-free producer paths.
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> failed_{false};
+  /// True only while the writer sleeps in its idle park; ring producers
+  /// check it after every publish (fence-paired with the writer's
+  /// pre-park sweep) and take mutex_ only when it is set.
+  std::atomic<bool> writer_parked_{false};
+
+  /// Producer rings, registration-ordered.  Owned here (a ring outlives
+  /// its producer thread); the vector grows under rings_mutex_, the writer
+  /// refreshes its raw-pointer cache when ring_count_ changes.
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<SpoolRing>> rings_;
+  std::atomic<std::size_t> ring_count_{0};
+  std::vector<SpoolRing*> ring_cache_;  // writer-private
+
+  /// All counters relaxed atomics: stats() samples them without stopping
+  /// anyone (see SpoolStats).
+  struct Counters {
+    std::atomic<std::uint64_t> items_enqueued{0};
+    std::atomic<std::uint64_t> chunks_written{0};
+    std::atomic<std::uint64_t> raw_bytes{0};
+    std::atomic<std::uint64_t> written_bytes{0};
+    std::atomic<std::uint64_t> queue_high_water_bytes{0};
+    std::atomic<std::uint64_t> producer_blocks{0};
+    std::atomic<std::uint64_t> writer_parks{0};
+  };
+  mutable Counters counters_;
+
+  // Writer-private chunk assembly state (members so drain helpers share
+  // them without threading through every call).
+  ByteWriter chunk_;
+  std::vector<sched::TraceRecord> trace_scratch_;
+  Bytes finish_body_;
+  bool finish_pending_ = false;
 
   std::thread writer_;
 };

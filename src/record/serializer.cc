@@ -10,10 +10,12 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'J', 'V', 'U', 'L', 'O', 'G', '1'};
 // v1: schedule + network sections.  v2 appends the causal section (per-key
-// seqs, order_mode = causal).  Total-order logs still serialize as v1 —
-// bit-identical to what older readers expect — and both versions load.
+// seqs, order_mode = causal) as raw varints; v3 packs that same section as
+// first-seq + zigzag deltas.  Total-order logs still serialize as v1 —
+// bit-identical to what older readers expect — and all three versions load.
 constexpr std::uint16_t kVersion = 1;
 constexpr std::uint16_t kVersionCausal = 2;
+constexpr std::uint16_t kVersionCausalDelta = 3;
 
 // Entry field presence flags.
 enum : std::uint8_t {
@@ -77,7 +79,7 @@ Bytes serialize(const VmLog& log) {
   const bool has_causal = !log.causal.empty();
   ByteWriter w;
   w.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
-  w.u16(has_causal ? kVersionCausal : kVersion);
+  w.u16(has_causal ? kVersionCausalDelta : kVersion);
   w.u32(log.vm_id);
   w.varint(log.stats.critical_events);
   w.varint(log.stats.network_events);
@@ -104,14 +106,21 @@ Bytes serialize(const VmLog& log) {
     for (const auto& e : entries) write_network_entry(w, e);
   }
 
-  // Causal section (v2 only): per-thread per-event per-key seqs.  Raw
-  // varints — the sequence is per-key monotone but interleaved across keys,
-  // so there is no global delta to exploit; most seqs are small anyway.
+  // Causal section (v2+): per-thread per-event per-key seqs.  v3 packing:
+  // first seq absolute, then zigzag-encoded deltas — one thread's stream
+  // interleaves keys, so consecutive seqs wander around nearby values and
+  // small signed deltas varint-encode tighter than raw (and sometimes
+  // large) absolutes.
   if (has_causal) {
     w.varint(log.causal.per_thread.size());
     for (const auto& list : log.causal.per_thread) {
       w.varint(list.size());
-      for (std::uint64_t s : list) w.varint(s);
+      if (list.empty()) continue;
+      w.varint(list.front());
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        w.varint(zigzag_encode(static_cast<std::int64_t>(list[i] -
+                                                         list[i - 1])));
+      }
     }
   }
 
@@ -140,7 +149,8 @@ VmLog deserialize(BytesView data) {
     throw LogFormatError("bad magic: not a DJVULOG bundle");
   }
   std::uint16_t version = r.u16();
-  if (version != kVersion && version != kVersionCausal) {
+  if (version != kVersion && version != kVersionCausal &&
+      version != kVersionCausalDelta) {
     throw LogFormatError("unsupported log version " + std::to_string(version));
   }
 
@@ -173,13 +183,24 @@ VmLog deserialize(BytesView data) {
     }
   }
   if (version >= kVersionCausal) {
+    const bool delta = version >= kVersionCausalDelta;
     std::uint64_t causal_threads = r.varint();
     log.causal.per_thread.resize(causal_threads);
     for (std::uint64_t t = 0; t < causal_threads; ++t) {
       std::uint64_t n = r.varint();
       auto& list = log.causal.per_thread[t];
       list.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) list.push_back(r.varint());
+      if (delta) {
+        std::uint64_t prev = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          prev = i == 0 ? r.varint()
+                        : prev + static_cast<std::uint64_t>(
+                                     zigzag_decode(r.varint()));
+          list.push_back(prev);
+        }
+      } else {
+        for (std::uint64_t i = 0; i < n; ++i) list.push_back(r.varint());
+      }
     }
   }
   if (!r.at_end()) {

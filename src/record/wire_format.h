@@ -1,0 +1,171 @@
+// Fixed-width framing for spool-ring records (in-memory wire format).
+//
+// Recording threads hand their log batches to the spool writer through
+// per-thread SPSC byte rings (common/spsc_ring.h).  Each handoff is one
+// record built with plain little-endian stores into reserved ring bytes —
+// no varints, no ByteWriter, no allocation on the producer side.  The
+// writer thread verifies the per-record CRC, then reframes the payload
+// into the existing DJVUSPL1 chunk items, so nothing below touches disk:
+// the on-disk format, LogSource, torn-tail recovery, and replay are
+// unchanged.
+//
+// Record framing (8-byte header, little-endian):
+//
+//   0x00  u8   magic = 0xd5          (never SpscRing::kPadByte, so a wrap
+//                                     pad is unambiguous at record starts)
+//   0x01  u8   kind                  (WireKind)
+//   0x02  u16  len                   (payload bytes; framing is len-exact)
+//   0x04  u32  crc32(payload)        (torn/corrupt-handoff witness)
+//   0x08  payload[len]
+//
+// Payload layouts by kind (all little-endian, fixed width):
+//
+//   kSchedule  u32 thread, then N × { u64 first, u64 last }   len = 4+16N
+//   kNetwork   u32 thread, then the serialized network entry
+//              (record/serializer.h write_network_entry bytes)
+//   kTrace     N × { u64 gc, u64 aux, u32 thread, u8 kind,
+//                    u8 pad[3] }                              len = 24N
+//   kCausal    u32 thread, then N × u64 seq                   len = 4+8N
+//   kFinish    u64 critical_events, u64 network_events,
+//              u32 thread_count                               len = 20
+//   kSpill     u64 pointer to a heap WireSpill                len = 8
+//
+// kSpill is the oversized-item escape hatch: an item whose encoding
+// exceeds kMaxWirePayload (or the ring's record ceiling) is boxed on the
+// heap by the producer and only its pointer rides the ring, preserving the
+// per-thread FIFO order the schedule/network reconstruction depends on.
+// The writer takes ownership and frees it.  Splittable batch kinds
+// (schedule, trace, causal) never spill — producers slice them into
+// multiple records instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/ids.h"
+#include "sched/trace.h"
+
+namespace djvu::record::wire {
+
+/// First header byte of every ring record.
+inline constexpr std::uint8_t kRecordMagic = 0xd5;
+
+/// Header bytes before the payload.
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/// Hard payload ceiling (u16 length field).  Per-ring ceilings may be
+/// lower (a record must fit the ring with room to spare).
+inline constexpr std::size_t kMaxWirePayload = 0xffff;
+
+/// Ring record kinds.  1..5 mirror SpoolItemKind; kSpill exists only on
+/// the ring, never on disk.
+enum class WireKind : std::uint8_t {
+  kSchedule = 1,
+  kNetwork = 2,
+  kTrace = 3,
+  kFinish = 4,
+  kCausal = 5,
+  kSpill = 6,
+};
+
+/// Fixed-width trace entry inside a kTrace payload.
+inline constexpr std::size_t kTraceWireBytes = 24;
+
+/// Fixed finish payload size.
+inline constexpr std::size_t kFinishWireBytes = 8 + 8 + 4;
+
+/// Heap box for an oversized item (see kSpill above).  `body` is the
+/// already-encoded DJVUSPL1 item body for `kind`, ready for the writer to
+/// frame into a chunk unchanged.
+struct WireSpill {
+  std::uint8_t kind = 0;  // SpoolItemKind value
+  Bytes body;
+};
+
+// --- little-endian stores/loads ---------------------------------------------
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+// --- framing ----------------------------------------------------------------
+
+/// Stamps the 8-byte header in front of an already-written payload at
+/// p + kHeaderBytes.
+inline void seal_header(std::uint8_t* p, WireKind kind, std::size_t len) {
+  p[0] = kRecordMagic;
+  p[1] = static_cast<std::uint8_t>(kind);
+  put_u16(p + 2, static_cast<std::uint16_t>(len));
+  put_u32(p + 4, crc32(BytesView(p + kHeaderBytes, len)));
+}
+
+/// Decoded header of one ring record.
+struct WireHeader {
+  WireKind kind = WireKind::kTrace;
+  std::size_t len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Parses a header (caller guarantees kHeaderBytes are readable).  False on
+/// bad magic — a producer/consumer framing bug, not a recoverable state.
+inline bool parse_header(const std::uint8_t* p, WireHeader* out) {
+  if (p[0] != kRecordMagic) return false;
+  out->kind = static_cast<WireKind>(p[1]);
+  out->len = get_u16(p + 2);
+  out->crc = get_u32(p + 4);
+  return true;
+}
+
+/// CRC check of a record's payload against its header.
+inline bool payload_ok(const WireHeader& h, const std::uint8_t* payload) {
+  return crc32(BytesView(payload, h.len)) == h.crc;
+}
+
+// --- fixed-width trace entries ----------------------------------------------
+
+inline void put_trace(std::uint8_t* p, const sched::TraceRecord& r) {
+  put_u64(p, r.gc);
+  put_u64(p + 8, r.aux);
+  put_u32(p + 16, r.thread);
+  p[20] = static_cast<std::uint8_t>(r.kind);
+  p[21] = p[22] = p[23] = 0;
+}
+
+inline sched::TraceRecord get_trace(const std::uint8_t* p) {
+  sched::TraceRecord r;
+  r.gc = get_u64(p);
+  r.aux = get_u64(p + 8);
+  r.thread = static_cast<ThreadNum>(get_u32(p + 16));
+  r.kind = static_cast<sched::EventKind>(p[20]);
+  return r;
+}
+
+}  // namespace djvu::record::wire
