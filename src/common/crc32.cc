@@ -65,4 +65,52 @@ std::uint32_t crc32(BytesView data) {
   return c.value();
 }
 
+namespace {
+
+// GF(2) 32x32 matrix times vector: each set bit of `vec` selects a row.
+std::uint32_t gf2_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_times(mat, mat[n]);
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t crc1, std::uint32_t crc2,
+                            std::uint64_t len2) {
+  // Advancing a CRC past one zero byte is a linear map over GF(2); `odd`
+  // starts as that map to the 8th power (one byte), and repeated squaring
+  // applies it len2 times in O(log len2) — so crc(A || B) falls out of
+  // crc(A), crc(B) and |B| alone.
+  if (len2 == 0) return crc1;
+  std::uint32_t even[32];
+  std::uint32_t odd[32];
+  odd[0] = 0xedb88320u;  // the reflected polynomial is the map for one bit
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_square(even, odd);   // two bits
+  gf2_square(odd, even);   // four bits
+  do {
+    gf2_square(even, odd);  // eight, thirty-two, ... bit-doubling each pass
+    if (len2 & 1) crc1 = gf2_times(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    gf2_square(odd, even);
+    if (len2 & 1) crc1 = gf2_times(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
 }  // namespace djvu

@@ -105,6 +105,15 @@ struct TuningConfig {
   /// drains — per-thread bounded memory, counted in producer_blocks.
   std::size_t spool_ring_bytes = 256 << 10;
 
+  /// Worker threads for loading spool files back (replay, trace readback,
+  /// offline tools).  Applies only to spools carrying the index footer —
+  /// chunks are independently decodable, so an indexed load preads and
+  /// decodes them on a small pool and folds the results in chunk order,
+  /// bit-identical to the sequential path.  0 = auto (min(cores, 8)),
+  /// 1 = the sequential path (ablation baseline); footerless spools always
+  /// load sequentially whatever this says.
+  std::size_t spool_load_threads = 0;
+
   friend bool operator==(const TuningConfig&, const TuningConfig&) = default;
 };
 

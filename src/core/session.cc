@@ -98,28 +98,41 @@ RunResult Session::run(const RunSpec& spec) {
             "recording), got " +
             std::to_string(sources));
       }
+      // Every log is resolved here, exactly once per run: in-memory bundles
+      // round-trip through the serializer (replay consumes exactly what a
+      // log file would contain, never in-memory state the file lacks),
+      // disk sources are streamed back once — run_impl shares the loaded
+      // logs by pointer instead of re-reading per VM.
+      const record::SpoolLoadOptions load_options{
+          config_.tuning.spool_load_threads};
+      std::vector<std::shared_ptr<const record::VmLog>> logs;
       if (spec.logs != nullptr) {
-        return run_impl(vm::Mode::kReplay, spec.logs, spec.seed, "");
-      }
-      std::vector<record::VmLog> logs;
-      if (spec.recorded != nullptr) {
+        for (const auto& log : *spec.logs) {
+          logs.push_back(std::make_shared<const record::VmLog>(
+              record::deserialize(record::serialize(log))));
+        }
+      } else if (spec.recorded != nullptr) {
         for (const auto& info : spec.recorded->vms) {
-          if (!info.spool_path.empty()) {
-            // Spooled recording: stream the file back — replay consumes
-            // exactly what survived on disk.
-            logs.push_back(record::load_spooled_log(info.spool_path));
+          if (info.spooled_log) {
+            // Already folded back from the sealed file at record time:
+            // replay consumes what survived on disk without a re-read.
+            logs.push_back(info.spooled_log);
+          } else if (!info.spool_path.empty()) {
+            logs.push_back(std::make_shared<const record::VmLog>(
+                record::load_spooled_log(info.spool_path, nullptr,
+                                         load_options)));
           } else if (info.log) {
-            // Round-trip through the serializer: replay consumes exactly
-            // what a log file would contain, never in-memory state the
-            // file lacks.
-            logs.push_back(record::deserialize(record::serialize(*info.log)));
+            logs.push_back(std::make_shared<const record::VmLog>(
+                record::deserialize(record::serialize(*info.log))));
           }
         }
       } else {
         for (const auto& s : specs_) {
           if (!s.djvm) continue;
-          logs.push_back(record::load_spooled_log(
-              spec.recording->dir + "/" + s.name + ".djvuspool"));
+          logs.push_back(std::make_shared<const record::VmLog>(
+              record::load_spooled_log(
+                  spec.recording->dir + "/" + s.name + ".djvuspool", nullptr,
+                  load_options)));
         }
       }
       return run_impl(vm::Mode::kReplay, &logs, spec.seed, "");
@@ -182,10 +195,11 @@ std::optional<RunResult> Session::record_until(
   return std::nullopt;
 }
 
-RunResult Session::run_impl(vm::Mode djvm_mode,
-                            const std::vector<record::VmLog>* logs,
-                            std::optional<std::uint64_t> seed_override,
-                            const std::string& spool_dir) {
+RunResult Session::run_impl(
+    vm::Mode djvm_mode,
+    const std::vector<std::shared_ptr<const record::VmLog>>* logs,
+    std::optional<std::uint64_t> seed_override,
+    const std::string& spool_dir) {
   if (specs_.empty()) throw UsageError("Session has no VMs");
 
   net::NetworkConfig net_config = config_.net;
@@ -235,9 +249,8 @@ RunResult Session::run_impl(vm::Mode djvm_mode,
     std::shared_ptr<const record::VmLog> replay_log;
     if (cfg.mode == vm::Mode::kReplay) {
       for (const auto& log : *logs) {
-        if (log.vm_id == spec.vm_id) {
-          replay_log = std::make_shared<const record::VmLog>(
-              record::deserialize(record::serialize(log)));
+        if (log->vm_id == spec.vm_id) {
+          replay_log = log;  // run() already roundtripped/loaded it
           break;
         }
       }
@@ -352,13 +365,17 @@ RunResult Session::run_impl(vm::Mode djvm_mode,
         // The log lives on disk; the in-memory result carries only the
         // pointer and the spooler's self-measurements.  The trace — never
         // resident during the run — is read back from the sealed file so
-        // verification works unchanged.
+        // verification works unchanged; the same single load also yields
+        // the replay-relevant log, kept for replay()/export to share.
         info.spool_path = r.machine->spool_path();
         info.spool = r.machine->spool_stats();
         if (config_.keep_trace) {
-          record::SpoolContents contents = record::load_spool(info.spool_path);
+          record::SpoolContents contents = record::load_spool(
+              info.spool_path, {config_.tuning.spool_load_threads});
           info.trace = std::move(contents.trace.records);
           info.trace_digest = sched::trace_digest(info.trace);
+          info.spooled_log = std::make_shared<const record::VmLog>(
+              std::move(contents.log));
         }
       } else {
         info.log = std::move(log);
@@ -477,6 +494,8 @@ void export_chrome_trace(const RunResult& run, const std::string& path,
     vm.vm_id = info.vm_id;
     if (info.log) {
       vm.log = &*info.log;
+    } else if (info.spooled_log) {
+      vm.log = info.spooled_log.get();  // already loaded at record time
     } else if (!info.spool_path.empty()) {
       loaded.push_back(std::make_unique<record::VmLog>(
           record::load_spooled_log(info.spool_path)));

@@ -79,6 +79,14 @@ struct VmRunInfo {
   /// memory).  Replay of this RunResult streams the file back.
   std::string spool_path;
 
+  /// Spooled record runs with keep_trace: the replay-relevant log already
+  /// folded back from the sealed spool file.  Shared so replay() and
+  /// export_chrome_trace() reuse this one load instead of re-reading the
+  /// file per consumer; null when the run kept its log in memory (use
+  /// `log`) or never loaded the spool back (keep_trace off — replay then
+  /// streams the file once itself).
+  std::shared_ptr<const record::VmLog> spooled_log;
+
   /// Spooler self-measurements (all zero when not spooled).
   /// spool.queue_high_water_bytes is the bounded-memory witness: it never
   /// exceeds tuning.spool_buffer_bytes (+ one oversized item).
@@ -226,10 +234,14 @@ class Session {
     DjvmId vm_id;  // assigned in declaration order (DJVMs only)
   };
 
-  RunResult run_impl(vm::Mode djvm_mode,
-                     const std::vector<record::VmLog>* logs,
-                     std::optional<std::uint64_t> seed_override,
-                     const std::string& spool_dir);
+  /// `logs` (replay only) are ready to consume as-is: run() has already
+  /// serializer-roundtripped in-memory bundles / loaded each spool exactly
+  /// once, so this layer never re-reads a file or re-serializes a log.
+  RunResult run_impl(
+      vm::Mode djvm_mode,
+      const std::vector<std::shared_ptr<const record::VmLog>>* logs,
+      std::optional<std::uint64_t> seed_override,
+      const std::string& spool_dir);
 
   SessionConfig config_;
   std::vector<VmSpec> specs_;

@@ -1,8 +1,10 @@
 #include "record/log_spool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/crc32.h"
 #include "record/serializer.h"
@@ -256,6 +258,10 @@ LogSpooler::LogSpooler(DjvmId vm_id, Options options)
     throw Error("cannot write spool header to " + options_.path);
   }
   counters_.written_bytes.store(hv.size(), std::memory_order_relaxed);
+  // Seed the index state with the header before the writer starts: the
+  // whole-file CRC covers every byte up to the footer.
+  file_offset_ = hv.size();
+  if (options_.index) file_crc_.update(hv);
   writer_ = std::thread([this] { writer_main(); });
 }
 
@@ -273,8 +279,20 @@ LogSpooler::~LogSpooler() {
 void LogSpooler::schedule_batch(ThreadNum thread,
                                 const sched::IntervalList& intervals) {
   if (intervals.empty()) return;
-  enqueue({SpoolItemKind::kSchedule, encode_schedule_item(thread, intervals),
-           /*records=*/{}, /*cost=*/0});
+  Item item{SpoolItemKind::kSchedule, encode_schedule_item(thread, intervals),
+            /*records=*/{}, /*cost=*/0};
+  if (options_.index) {
+    item.meta.thread = thread;
+    item.meta.has_thread = true;
+    item.meta.intervals = intervals.size();
+    for (const auto& lsi : intervals) {
+      item.meta.sched_events += lsi.last - lsi.first + 1;
+    }
+    item.meta.has_gc = true;
+    item.meta.min_gc = intervals.front().first;
+    item.meta.max_gc = intervals.back().last;
+  }
+  enqueue(std::move(item));
 }
 
 void LogSpooler::network_entry(ThreadNum thread, const NetworkLogEntry& entry) {
@@ -293,8 +311,15 @@ void LogSpooler::trace_batch(std::vector<sched::TraceRecord> records) {
 void LogSpooler::causal_batch(ThreadNum thread,
                               const std::vector<std::uint64_t>& seqs) {
   if (seqs.empty()) return;
-  enqueue({SpoolItemKind::kCausalDelta, encode_causal_delta_item(thread, seqs),
-           /*records=*/{}, /*cost=*/0});
+  Item item{SpoolItemKind::kCausalDelta,
+            encode_causal_delta_item(thread, seqs),
+            /*records=*/{}, /*cost=*/0};
+  if (options_.index) {
+    item.meta.thread = thread;
+    item.meta.has_thread = true;
+    item.meta.causal_entries = seqs.size();
+  }
+  enqueue(std::move(item));
 }
 
 void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
@@ -527,7 +552,35 @@ void LogSpooler::causal_batch(SpoolRing* ring, ThreadNum thread,
 // --- writer thread ----------------------------------------------------------
 
 void LogSpooler::append_item(std::uint8_t kind, BytesView body) {
+  append_item(kind, body, ItemMeta{});
+}
+
+void LogSpooler::append_item(std::uint8_t kind, BytesView body,
+                             const ItemMeta& meta) {
   chunk_.u8(kind).varint(body.size()).raw(body);
+  if (options_.index) {
+    pending_meta_.kinds |= spool_kind_bit(kind);
+    if (kind == static_cast<std::uint8_t>(SpoolItemKind::kNetwork)) {
+      ++pending_meta_.network_items;
+    }
+    if (meta.has_gc) {
+      if (!pending_meta_.has_gc) {
+        pending_meta_.has_gc = true;
+        pending_meta_.min_gc = meta.min_gc;
+        pending_meta_.max_gc = meta.max_gc;
+      } else {
+        pending_meta_.min_gc = std::min(pending_meta_.min_gc, meta.min_gc);
+        pending_meta_.max_gc = std::max(pending_meta_.max_gc, meta.max_gc);
+      }
+    }
+    if (meta.has_thread) {
+      SpoolThreadCounts& counts = pending_threads_[meta.thread];
+      counts.thread = meta.thread;
+      counts.intervals += meta.intervals;
+      counts.sched_events += meta.sched_events;
+      counts.causal_entries += meta.causal_entries;
+    }
+  }
   if (chunk_.size() >= options_.chunk_bytes) flush_chunk();
 }
 
@@ -556,9 +609,15 @@ bool LogSpooler::drain_queue() {
       // Deferred serialization: trace batches are encoded here, off the
       // producers' critical path.
       item.body = encode_trace_item(item.records);
+      if (options_.index) {
+        // One thread's batch in program order: gc ascending.
+        item.meta.has_gc = true;
+        item.meta.min_gc = item.records.front().gc;
+        item.meta.max_gc = item.records.back().gc;
+      }
       item.records.clear();
     }
-    append_item(static_cast<std::uint8_t>(item.kind), item.body);
+    append_item(static_cast<std::uint8_t>(item.kind), item.body, item.meta);
   }
   return true;
 }
@@ -620,8 +679,20 @@ void LogSpooler::handle_wire_record(const wire::WireHeader& h,
         list.push_back({wire::get_u64(payload + 4 + 16 * i),
                         wire::get_u64(payload + 4 + 16 * i + 8)});
       }
+      ItemMeta meta;
+      if (options_.index && !list.empty()) {
+        meta.thread = thread;
+        meta.has_thread = true;
+        meta.intervals = list.size();
+        for (const auto& lsi : list) {
+          meta.sched_events += lsi.last - lsi.first + 1;
+        }
+        meta.has_gc = true;
+        meta.min_gc = list.front().first;
+        meta.max_gc = list.back().last;
+      }
       append_item(static_cast<std::uint8_t>(SpoolItemKind::kSchedule),
-                  encode_schedule_item(thread, list));
+                  encode_schedule_item(thread, list), meta);
       break;
     }
     case wire::WireKind::kNetwork: {
@@ -647,8 +718,14 @@ void LogSpooler::handle_wire_record(const wire::WireHeader& h,
         trace_scratch_.push_back(
             wire::get_trace(payload + i * wire::kTraceWireBytes));
       }
+      ItemMeta meta;
+      if (options_.index && !trace_scratch_.empty()) {
+        meta.has_gc = true;
+        meta.min_gc = trace_scratch_.front().gc;
+        meta.max_gc = trace_scratch_.back().gc;
+      }
       append_item(static_cast<std::uint8_t>(SpoolItemKind::kTrace),
-                  encode_trace_item(trace_scratch_));
+                  encode_trace_item(trace_scratch_), meta);
       break;
     }
     case wire::WireKind::kCausal: {
@@ -662,8 +739,14 @@ void LogSpooler::handle_wire_record(const wire::WireHeader& h,
       for (std::size_t i = 0; i < n; ++i) {
         seqs.push_back(wire::get_u64(payload + 4 + 8 * i));
       }
+      ItemMeta meta;
+      if (options_.index) {
+        meta.thread = thread;
+        meta.has_thread = true;
+        meta.causal_entries = n;
+      }
       append_item(static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta),
-                  encode_causal_delta_item(thread, seqs));
+                  encode_causal_delta_item(thread, seqs), meta);
       break;
     }
     case wire::WireKind::kFinish: {
@@ -682,6 +765,9 @@ void LogSpooler::handle_wire_record(const wire::WireHeader& h,
       if (h.len != 8) throw Error("spool ring spill record has bad length");
       std::unique_ptr<wire::WireSpill> box(reinterpret_cast<wire::WireSpill*>(
           static_cast<std::uintptr_t>(wire::get_u64(payload))));
+      // Spills carry no ItemMeta: only network entries (no gc, no per-thread
+      // schedule counts) are ever large enough to spill, and append_item
+      // counts network items by kind on its own.
       append_item(box->kind, box->body);
       break;
     }
@@ -707,12 +793,12 @@ bool LogSpooler::all_channels_empty() {
 
 void LogSpooler::seal_finish() {
   flush_chunk();
-  chunk_.u8(static_cast<std::uint8_t>(SpoolItemKind::kFinish))
-      .varint(finish_body_.size())
-      .raw(finish_body_);
-  write_chunk(chunk_.view());
-  chunk_ = ByteWriter();
+  append_item(static_cast<std::uint8_t>(SpoolItemKind::kFinish), finish_body_);
+  flush_chunk();
   finish_pending_ = false;
+  // The footer rides only behind a finish chunk: an abnormal close leaves a
+  // plain prefix, exactly like a crash, and loaders fall back to scanning.
+  if (options_.index) write_footer();
 }
 
 void LogSpooler::writer_main() {
@@ -808,10 +894,42 @@ void LogSpooler::write_chunk(BytesView payload) {
       std::fflush(file_) != 0) {
     throw Error("spool write failed: " + options_.path);
   }
+  if (options_.index) {
+    file_crc_.update(fv);
+    file_crc_.update(out);
+    SpoolChunkInfo info = pending_meta_;
+    info.offset = file_offset_;
+    info.stored_len = static_cast<std::uint32_t>(out.size());
+    info.raw_len = static_cast<std::uint32_t>(payload.size());
+    info.codec = static_cast<std::uint8_t>(codec);
+    info.threads.reserve(pending_threads_.size());
+    for (const auto& [thread, counts] : pending_threads_) {
+      info.threads.push_back(counts);
+    }
+    index_entries_.push_back(std::move(info));
+  }
+  pending_meta_ = SpoolChunkInfo{};
+  pending_threads_.clear();
+  file_offset_ += fv.size() + out.size();
   counters_.chunks_written.fetch_add(1, std::memory_order_relaxed);
   counters_.raw_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   counters_.written_bytes.fetch_add(fv.size() + out.size(),
                                     std::memory_order_relaxed);
+}
+
+void LogSpooler::write_footer() {
+  SpoolIndex index;
+  index.chunks = std::move(index_entries_);
+  index.data_end = file_offset_;
+  index.file_crc = file_crc_.value();
+  const Bytes footer = encode_spool_footer(index);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size() ||
+      std::fflush(file_) != 0) {
+    throw Error("spool footer write failed: " + options_.path);
+  }
+  index_entries_.clear();
+  counters_.index_bytes.store(footer.size(), std::memory_order_relaxed);
+  counters_.written_bytes.fetch_add(footer.size(), std::memory_order_relaxed);
 }
 
 void LogSpooler::close() {
@@ -846,6 +964,7 @@ SpoolStats LogSpooler::stats() const {
   s.producer_blocks =
       counters_.producer_blocks.load(std::memory_order_relaxed);
   s.writer_parks = counters_.writer_parks.load(std::memory_order_relaxed);
+  s.index_bytes = counters_.index_bytes.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(rings_mutex_);
   for (const auto& ring : rings_) {
     s.ring_records += ring->records.load(std::memory_order_relaxed);
@@ -897,12 +1016,24 @@ LogSource::LogSource(const std::string& path) : path_(path) {
         throw LogFormatError("torn header in " + path);
       }
       compressed_ = (flags & 1) != 0;
+      // Seed the whole-file CRC with the header exactly as it lies on disk
+      // (the magic compared equal, so the constant is the file's bytes).
+      stream_crc_.update(
+          BytesView(reinterpret_cast<const std::uint8_t*>(kSpoolMagic), 8));
+      stream_crc_.update(BytesView(header, 2 + 4));
+      stream_crc_.update(BytesView(&flags, 1));
     } else {
       trace_backend_ = true;
       if (version != kTraceVersion) {
         throw LogFormatError("unsupported trace version " +
                              std::to_string(version));
       }
+      // Everything from here to the 4-byte trailer feeds the stream CRC
+      // (via read_exact), so the trailer can be verified at end of stream.
+      stream_crc_.update(
+          BytesView(reinterpret_cast<const std::uint8_t*>(kTraceMagic), 8));
+      stream_crc_.update(BytesView(header, 2 + 4));
+      hash_reads_ = true;
       trace_remaining_ = read_varint();
     }
   } catch (...) {
@@ -917,7 +1048,9 @@ LogSource::~LogSource() {
 }
 
 bool LogSource::read_exact(std::uint8_t* out, std::size_t n) {
-  return std::fread(out, 1, n, file_) == n;
+  if (std::fread(out, 1, n, file_) != n) return false;
+  if (hash_reads_) stream_crc_.update(BytesView(out, n));
+  return true;
 }
 
 std::uint64_t LogSource::read_varint() {
@@ -938,12 +1071,74 @@ std::optional<SpoolItem> LogSource::next() {
   return trace_backend_ ? next_trace_item() : next_spool_item();
 }
 
+const SpoolIndex* LogSource::index() {
+  if (trace_backend_) return nullptr;
+  if (!tried_footer_ && !index_) {
+    tried_footer_ = true;
+    index_ = read_spool_footer(file_, file_size_);
+  }
+  return (index_ && index_->from_footer) ? &*index_ : nullptr;
+}
+
+const SpoolIndex* LogSource::ensure_index() {
+  if (const SpoolIndex* idx = index()) return idx;
+  if (!index_) index_ = build_spool_index(path_);
+  return &*index_;
+}
+
+bool LogSource::seek_to_gc(GlobalCount gc) {
+  if (trace_backend_) {
+    throw UsageError("seek_to_gc: trace files are not seekable");
+  }
+  const SpoolIndex* idx = ensure_index();
+  const std::optional<std::size_t> chunk = idx->chunk_covering(gc);
+  if (!chunk) {
+    chunk_ = Bytes();
+    chunk_pos_ = 0;
+    done_ = true;
+    return false;
+  }
+  seek_to_chunk(*chunk);
+  return true;
+}
+
+void LogSource::seek_to_chunk(std::size_t i) {
+  if (trace_backend_) {
+    throw UsageError("seek_to_chunk: trace files are not seekable");
+  }
+  const SpoolIndex* idx = ensure_index();
+  if (i >= idx->chunks.size()) {
+    throw UsageError("seek_to_chunk: chunk " + std::to_string(i) +
+                     " out of range");
+  }
+  std::clearerr(file_);
+  if (std::fseek(file_, static_cast<long>(idx->chunks[i].offset), SEEK_SET) !=
+      0) {
+    throw Error("seek failed in " + path_);
+  }
+  chunk_ = Bytes();
+  chunk_pos_ = 0;
+  done_ = false;
+  clean_end_ = false;
+  truncated_bytes_ = 0;
+  chunks_read_ = i;
+  seeked_ = true;
+}
+
 bool LogSource::read_chunk() {
   const auto start = static_cast<std::uint64_t>(std::ftell(file_));
   const auto torn = [&] { truncated_bytes_ = file_size_ - start; };
   std::uint8_t frame[kChunkFrameBytes];
   const std::size_t got = std::fread(frame, 1, kChunkFrameBytes, file_);
   if (got == 0) return false;  // clean EOF at a chunk boundary
+  if (got >= 8 && std::memcmp(frame, kSpoolIndexMagic, 8) == 0) {
+    // The index footer begins here: end of data, not a torn tail.  (A
+    // pre-index reader lands in the kMaxChunkLen branch below instead —
+    // the footer's leading bytes decode as an absurd length — and recovers
+    // to this same prefix.)
+    footer_seen_ = true;
+    return false;
+  }
   if (got < kChunkFrameBytes) {
     torn();
     return false;
@@ -963,6 +1158,16 @@ bool LogSource::read_chunk() {
   if (crc32(cpayload) != crc) {
     torn();
     return false;
+  }
+  // Accepted: record the frame facts and feed the whole-file CRC (a seek
+  // breaks byte coverage, so the stream CRC is only meaningful unseeked).
+  chunk_offset_ = start;
+  chunk_stored_len_ = len;
+  chunk_codec_ = codec;
+  ++chunks_read_;
+  if (!seeked_) {
+    stream_crc_.update(BytesView(frame, kChunkFrameBytes));
+    stream_crc_.update(cpayload);
   }
   // Past this point the chunk is CRC-certified: failures below are writer
   // bugs or version skew, not torn tails, and must be rejected loudly.
@@ -1006,6 +1211,15 @@ std::optional<SpoolItem> LogSource::next_spool_item() {
       }
       done_ = true;
       clean_end_ = true;
+      if (footer_seen_ && !seeked_) {
+        // An unseeked stream covered every data byte: check it against the
+        // footer's whole-file CRC.  Per-chunk CRCs certify each payload;
+        // this additionally certifies the header and the framing bytes.
+        const SpoolIndex* idx = index();
+        if (idx != nullptr && stream_crc_.value() != idx->file_crc) {
+          throw LogFormatError("spool whole-file CRC mismatch in " + path_);
+        }
+      }
     }
     return item;
   }
@@ -1013,8 +1227,19 @@ std::optional<SpoolItem> LogSource::next_spool_item() {
 
 std::optional<SpoolItem> LogSource::next_trace_item() {
   if (trace_remaining_ == 0) {
-    // Trailing CRC (4 bytes) deliberately unverified: the streaming reader
-    // trades the whole-file check for early exit (see class docs).
+    // All declared records streamed: verify the trailing CRC against the
+    // running stream CRC (everything since the magic fed it).  A reader
+    // that exits early still skips the check — that is the documented
+    // streaming trade — but one that consumes the stream gets the same
+    // integrity guarantee as load_trace_from_file.
+    hash_reads_ = false;
+    std::uint8_t trailer[4];
+    if (!read_exact(trailer, 4)) {
+      throw LogFormatError("truncated trace CRC trailer in " + path_);
+    }
+    if (le32(trailer) != stream_crc_.value()) {
+      throw LogFormatError("trace file CRC mismatch in " + path_);
+    }
     done_ = true;
     clean_end_ = true;
     return std::nullopt;
@@ -1121,8 +1346,247 @@ void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
   }
 }
 
+/// gc-sorts a loaded trace.  Stable: distinct threads can log trace records
+/// at the same gc (e.g. a thread-start handshake), and chunk order — which
+/// both load paths reproduce — is the recorder's append order, so a stable
+/// sort makes the loaded record order deterministic where an unstable one
+/// left equal-gc runs to the allocator's whims.
+void sort_trace(TraceFile& trace) {
+  std::stable_sort(trace.records.begin(), trace.records.end(),
+                   [](const sched::TraceRecord& a, const sched::TraceRecord& b) {
+                     return a.gc < b.gc;
+                   });
+}
+
+std::size_t resolve_load_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return std::min<std::size_t>(hw, 8);
+}
+
+/// One chunk's decoded contribution to the parallel load, plus the facts
+/// the driver needs to validate the whole: per-kind item payloads in chunk
+/// item order, and the CRC/length of the chunk's on-disk bytes (frame +
+/// stored payload) for the crc32_combine whole-file check.
+struct ChunkFold {
+  std::vector<std::pair<ThreadNum, sched::IntervalList>> schedule;
+  std::vector<std::pair<ThreadNum, NetworkLogEntry>> network;
+  std::vector<sched::TraceRecord> trace;
+  std::vector<std::pair<ThreadNum, std::vector<std::uint64_t>>> causal;
+  std::optional<SpoolFinish> finish;
+  bool finish_last = false;  ///< finish was the chunk's final item
+  std::uint32_t seg_crc = 0;
+  std::uint64_t seg_len = 0;
+};
+
+/// Decodes one chunk at its footer-recorded offset into `out`, validating
+/// the frame against the footer entry and the payload against the chunk
+/// CRC.  Throws on any disagreement — the driver turns that into a
+/// fall-back to the sequential scan, which reports the authoritative error.
+void decode_chunk_at(std::FILE* file, const std::string& path,
+                     const SpoolChunkInfo& info, bool want_trace,
+                     ChunkFold& out) {
+  if (std::fseek(file, static_cast<long>(info.offset), SEEK_SET) != 0) {
+    throw Error("seek failed in " + path);
+  }
+  Bytes framed(kChunkFrameBytes + info.stored_len);
+  if (std::fread(framed.data(), 1, framed.size(), file) != framed.size()) {
+    throw LogFormatError("chunk truncated under footer in " + path);
+  }
+  const std::uint32_t len = le32(framed.data());
+  const std::uint8_t codec = framed[4];
+  const std::uint32_t crc = le32(framed.data() + 5);
+  if (len != info.stored_len || codec != info.codec) {
+    throw LogFormatError("chunk frame disagrees with footer in " + path);
+  }
+  const BytesView cpayload = BytesView(framed).subspan(kChunkFrameBytes);
+  if (crc32(cpayload) != crc) {
+    throw LogFormatError("chunk CRC mismatch in " + path);
+  }
+  out.seg_crc = crc32(framed);
+  out.seg_len = framed.size();
+  Bytes decoded;
+  BytesView items = cpayload;
+  if (codec == static_cast<std::uint8_t>(SpoolCodec::kLz)) {
+    decoded = spool_decompress(cpayload);
+    items = decoded;
+  } else if (codec != static_cast<std::uint8_t>(SpoolCodec::kRaw)) {
+    throw LogFormatError("unknown spool chunk codec " + std::to_string(codec));
+  }
+  if (items.size() != info.raw_len) {
+    throw LogFormatError("chunk raw length disagrees with footer in " + path);
+  }
+  std::size_t pos = 0;
+  while (pos < items.size()) {
+    ByteReader r(items.subspan(pos));
+    const std::uint8_t kind = r.u8();
+    if (kind < static_cast<std::uint8_t>(SpoolItemKind::kSchedule) ||
+        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta)) {
+      throw LogFormatError("unknown spool item kind " + std::to_string(kind));
+    }
+    const std::uint64_t body_len = r.varint();
+    const Bytes body = r.raw(body_len);
+    pos += r.position();
+    switch (static_cast<SpoolItemKind>(kind)) {
+      case SpoolItemKind::kSchedule:
+        out.schedule.push_back(decode_schedule_item(body));
+        break;
+      case SpoolItemKind::kNetwork:
+        out.network.push_back(decode_network_item(body));
+        break;
+      case SpoolItemKind::kTrace: {
+        if (!want_trace) break;
+        const std::vector<sched::TraceRecord> records =
+            decode_trace_item(body);
+        out.trace.insert(out.trace.end(), records.begin(), records.end());
+        break;
+      }
+      case SpoolItemKind::kCausal:
+        out.causal.push_back(decode_causal_item(body));
+        break;
+      case SpoolItemKind::kCausalDelta:
+        out.causal.push_back(decode_causal_delta_item(body));
+        break;
+      case SpoolItemKind::kFinish:
+        out.finish = decode_finish_item(body);
+        out.finish_last = (pos == items.size());
+        break;
+    }
+  }
+}
+
+/// The indexed parallel load: preads and decodes chunks on `threads`
+/// workers (each with its own FILE*), verifies the whole-file CRC by
+/// combining per-chunk segment CRCs, and folds the decoded pieces in chunk
+/// order — per-thread appends then see exactly the sequential scan's order,
+/// so the result is bit-identical.  nullopt on any anomaly (no footer,
+/// validation failure, I/O error): the caller falls back to the sequential
+/// scan, which either succeeds with its usual semantics or reports the
+/// authoritative error.
+std::optional<VmLog> try_parallel_load(const std::string& path,
+                                       std::size_t threads, TraceFile* trace) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) return std::nullopt;
+  std::uint8_t header[kSpoolHeaderBytes];
+  std::optional<SpoolIndex> index;
+  std::uint32_t header_crc = 0;
+  DjvmId vm_id = 0;
+  bool usable = false;
+  do {
+    if (std::fread(header, 1, sizeof header, probe) != sizeof header) break;
+    if (std::memcmp(header, kSpoolMagic, 8) != 0) break;
+    const std::uint16_t version =
+        static_cast<std::uint16_t>(header[8] | (header[9] << 8));
+    if (version != kSpoolVersion) break;
+    vm_id = le32(header + 10);
+    std::fseek(probe, 0, SEEK_END);
+    index = read_spool_footer(
+        probe, static_cast<std::uint64_t>(std::ftell(probe)));
+    if (!index || index->chunks.empty()) break;
+    header_crc = crc32(BytesView(header, sizeof header));
+    usable = true;
+  } while (false);
+  std::fclose(probe);
+  if (!usable) return std::nullopt;
+
+  const std::size_t n = index->chunks.size();
+  std::vector<ChunkFold> folds(n);
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  const auto work = [&] {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      const std::size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        decode_chunk_at(file, path, index->chunks[i], trace != nullptr,
+                        folds[i]);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    std::fclose(file);
+  };
+  const std::size_t workers = std::min(threads, n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+  if (failed.load(std::memory_order_relaxed)) return std::nullopt;
+
+  // Whole-file CRC without a second sequential pass: combine the per-chunk
+  // segment CRCs in file order (common/crc32.h crc32_combine).
+  std::uint32_t crc = header_crc;
+  for (const ChunkFold& fold : folds) {
+    crc = crc32_combine(crc, fold.seg_crc, fold.seg_len);
+  }
+  if (crc != index->file_crc) return std::nullopt;
+
+  // Finish discipline identical to the sequential reader: exactly one
+  // finish item, and it is the last item of the last chunk.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (folds[i].finish) return std::nullopt;
+  }
+  if (!folds[n - 1].finish || !folds[n - 1].finish_last) return std::nullopt;
+
+  VmLog log;
+  log.vm_id = vm_id;
+  for (ChunkFold& fold : folds) {
+    for (auto& [thread, list] : fold.schedule) {
+      auto& per_thread = log.schedule.per_thread;
+      if (per_thread.size() <= thread) per_thread.resize(thread + 1);
+      auto& dst = per_thread[thread];
+      dst.insert(dst.end(), list.begin(), list.end());
+    }
+    for (auto& [thread, entry] : fold.network) {
+      log.network.append(thread, std::move(entry));
+    }
+    if (trace != nullptr) {
+      trace->records.insert(trace->records.end(), fold.trace.begin(),
+                            fold.trace.end());
+    }
+    for (auto& [thread, seqs] : fold.causal) {
+      append_causal(log, thread, seqs);
+    }
+  }
+  const SpoolFinish& finish = *folds[n - 1].finish;
+  log.stats = finish.stats;
+  if (log.schedule.per_thread.size() < finish.thread_count) {
+    log.schedule.per_thread.resize(finish.thread_count);
+  }
+  if (!log.causal.per_thread.empty() &&
+      log.causal.per_thread.size() < finish.thread_count) {
+    log.causal.per_thread.resize(finish.thread_count);
+  }
+  return log;
+}
+
 VmLog stream_spool(const std::string& path, TraceFile* trace, bool* clean_end,
-                   std::uint64_t* truncated_bytes) {
+                   std::uint64_t* truncated_bytes,
+                   const SpoolLoadOptions& options) {
+  if (resolve_load_threads(options.threads) > 1) {
+    std::optional<VmLog> log =
+        try_parallel_load(path, resolve_load_threads(options.threads), trace);
+    if (log) {
+      // A parallel load only succeeds for a footer'd, finish-marked,
+      // CRC-verified file: by construction a clean end with nothing torn.
+      if (trace != nullptr) {
+        trace->vm_id = log->vm_id;
+        sort_trace(*trace);
+      }
+      if (clean_end != nullptr) *clean_end = true;
+      if (truncated_bytes != nullptr) *truncated_bytes = 0;
+      return std::move(*log);
+    }
+  }
   LogSource source(path);
   if (source.is_trace_file()) {
     throw LogFormatError("expected a DJVUSPL spool file, got a trace file: " +
@@ -1142,10 +1606,7 @@ VmLog stream_spool(const std::string& path, TraceFile* trace, bool* clean_end,
   }
   if (trace != nullptr) {
     trace->vm_id = source.vm_id();
-    std::sort(trace->records.begin(), trace->records.end(),
-              [](const sched::TraceRecord& a, const sched::TraceRecord& b) {
-                return a.gc < b.gc;
-              });
+    sort_trace(*trace);
   }
   if (clean_end != nullptr) *clean_end = source.clean_end();
   if (truncated_bytes != nullptr) *truncated_bytes = source.truncated_bytes();
@@ -1154,15 +1615,100 @@ VmLog stream_spool(const std::string& path, TraceFile* trace, bool* clean_end,
 
 }  // namespace
 
-SpoolContents load_spool(const std::string& path) {
+SpoolContents load_spool(const std::string& path,
+                         const SpoolLoadOptions& options) {
   SpoolContents contents;
   contents.log = stream_spool(path, &contents.trace, &contents.clean_end,
-                              &contents.truncated_bytes);
+                              &contents.truncated_bytes, options);
   return contents;
 }
 
-VmLog load_spooled_log(const std::string& path, bool* clean_end) {
-  return stream_spool(path, nullptr, clean_end, nullptr);
+VmLog load_spooled_log(const std::string& path, bool* clean_end,
+                       const SpoolLoadOptions& options) {
+  return stream_spool(path, nullptr, clean_end, nullptr, options);
+}
+
+SpoolIndex build_spool_index(const std::string& path) {
+  LogSource source(path);
+  if (source.is_trace_file()) {
+    throw UsageError("build_spool_index: not a spool file: " + path);
+  }
+  SpoolIndex index;
+  std::map<ThreadNum, SpoolThreadCounts> threads;
+  const auto close_chunk = [&] {
+    if (index.chunks.empty()) return;
+    SpoolChunkInfo& c = index.chunks.back();
+    c.threads.reserve(threads.size());
+    for (const auto& [thread, counts] : threads) c.threads.push_back(counts);
+    threads.clear();
+  };
+  while (std::optional<SpoolItem> item = source.next()) {
+    if (source.chunk_ordinal() != index.chunks.size()) {
+      close_chunk();
+      SpoolChunkInfo c;
+      c.offset = source.chunk_offset();
+      c.stored_len = source.chunk_stored_len();
+      c.raw_len = source.chunk_raw_len();
+      c.codec = source.chunk_codec();
+      index.chunks.push_back(std::move(c));
+    }
+    SpoolChunkInfo& c = index.chunks.back();
+    c.kinds |= spool_kind_bit(static_cast<std::uint8_t>(item->kind));
+    const auto fold_gc = [&c](GlobalCount lo, GlobalCount hi) {
+      if (!c.has_gc) {
+        c.has_gc = true;
+        c.min_gc = lo;
+        c.max_gc = hi;
+      } else {
+        c.min_gc = std::min(c.min_gc, lo);
+        c.max_gc = std::max(c.max_gc, hi);
+      }
+    };
+    switch (item->kind) {
+      case SpoolItemKind::kSchedule: {
+        auto [thread, list] = decode_schedule_item(item->body);
+        SpoolThreadCounts& tc = threads[thread];
+        tc.thread = thread;
+        tc.intervals += list.size();
+        for (const auto& lsi : list) tc.sched_events += lsi.length();
+        if (!list.empty()) fold_gc(list.front().first, list.back().last);
+        break;
+      }
+      case SpoolItemKind::kNetwork:
+        ++c.network_items;
+        break;
+      case SpoolItemKind::kTrace: {
+        const std::vector<sched::TraceRecord> records =
+            decode_trace_item(item->body);
+        if (!records.empty()) fold_gc(records.front().gc, records.back().gc);
+        break;
+      }
+      case SpoolItemKind::kCausal: {
+        auto [thread, seqs] = decode_causal_item(item->body);
+        SpoolThreadCounts& tc = threads[thread];
+        tc.thread = thread;
+        tc.causal_entries += seqs.size();
+        break;
+      }
+      case SpoolItemKind::kCausalDelta: {
+        auto [thread, seqs] = decode_causal_delta_item(item->body);
+        SpoolThreadCounts& tc = threads[thread];
+        tc.thread = thread;
+        tc.causal_entries += seqs.size();
+        break;
+      }
+      case SpoolItemKind::kFinish:
+        break;
+    }
+  }
+  close_chunk();
+  index.data_end =
+      index.chunks.empty()
+          ? kSpoolHeaderBytes
+          : index.chunks.back().offset + kChunkFrameBytes +
+                index.chunks.back().stored_len;
+  index.finalize();
+  return index;
 }
 
 }  // namespace djvu::record

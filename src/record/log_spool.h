@@ -59,6 +59,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -67,8 +68,10 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/ids.h"
 #include "common/spsc_ring.h"
+#include "record/spool_index.h"
 #include "record/trace_io.h"
 #include "record/wire_format.h"
 #include "record/vm_log.h"
@@ -168,6 +171,11 @@ struct SpoolStats {
 
   /// Times the writer parked idle (all rings and the queue empty).
   std::uint64_t writer_parks = 0;
+
+  /// Bytes of the index footer appended at seal time (0 when indexing is
+  /// off or the run ended without a finish item).  Included in
+  /// written_bytes.
+  std::uint64_t index_bytes = 0;
 };
 
 /// Record-side sink for log data.  vm::Vm feeds one of these when spooling
@@ -254,6 +262,11 @@ class LogSpooler : public LogSink {
     bool ring = true;
     /// Capacity of each producer ring (rounded up to a power of two).
     std::size_t ring_bytes = 256 << 10;
+    /// Append the per-chunk index footer (record/spool_index.h) after the
+    /// finish chunk at seal time, enabling seek_to_gc and the parallel
+    /// load path.  Off = the pre-index on-disk format, byte for byte
+    /// (tests and ablation baselines).
+    bool index = true;
   };
 
   /// Opens `options.path` for writing and starts the writer thread; throws
@@ -311,6 +324,20 @@ class LogSpooler : public LogSink {
   const std::string& path() const { return options_.path; }
 
  private:
+  /// Index metadata for one item, computed where the item is produced or
+  /// reframed (the producers and handle_wire_record already hold the
+  /// decoded values, so the writer never re-decodes bodies to index them).
+  struct ItemMeta {
+    ThreadNum thread = 0;
+    bool has_thread = false;
+    std::uint64_t intervals = 0;
+    std::uint64_t sched_events = 0;
+    std::uint64_t causal_entries = 0;
+    bool has_gc = false;
+    GlobalCount min_gc = 0;
+    GlobalCount max_gc = 0;
+  };
+
   struct Item {
     SpoolItemKind kind;
     Bytes body;
@@ -320,6 +347,8 @@ class LogSpooler : public LogSink {
     std::vector<sched::TraceRecord> records;
     /// Byte-accounting cost charged against buffer_bytes (set by enqueue).
     std::size_t cost = 0;
+    /// Index metadata (empty for kinds that carry none).
+    ItemMeta meta{};
   };
 
   void enqueue(Item item);
@@ -344,6 +373,7 @@ class LogSpooler : public LogSink {
   void handle_wire_record(const wire::WireHeader& h,
                           const std::uint8_t* payload);
   void append_item(std::uint8_t kind, BytesView body);
+  void append_item(std::uint8_t kind, BytesView body, const ItemMeta& meta);
   void flush_chunk();
   bool drain_ring(SpoolRing& ring);
   bool drain_queue();
@@ -352,6 +382,8 @@ class LogSpooler : public LogSink {
   /// Appends one framed chunk to the file and flushes; throws Error on I/O
   /// failure.  Writer thread only.
   void write_chunk(BytesView payload);
+  /// Appends the index footer after the finish chunk (Options::index).
+  void write_footer();
 
   const Options options_;
   std::FILE* file_ = nullptr;
@@ -395,6 +427,7 @@ class LogSpooler : public LogSink {
     std::atomic<std::uint64_t> queue_high_water_bytes{0};
     std::atomic<std::uint64_t> producer_blocks{0};
     std::atomic<std::uint64_t> writer_parks{0};
+    std::atomic<std::uint64_t> index_bytes{0};
   };
   mutable Counters counters_;
 
@@ -404,6 +437,16 @@ class LogSpooler : public LogSink {
   std::vector<sched::TraceRecord> trace_scratch_;
   Bytes finish_body_;
   bool finish_pending_ = false;
+
+  // Writer-private index state: the entry table built as chunks seal, the
+  // metadata accumulator for the chunk currently assembling, the running
+  // file offset, and the whole-file CRC (all bytes written so far).  The
+  // constructor seeds offset/CRC with the header before the writer starts.
+  std::vector<SpoolChunkInfo> index_entries_;
+  SpoolChunkInfo pending_meta_{};
+  std::map<ThreadNum, SpoolThreadCounts> pending_threads_;
+  std::uint64_t file_offset_ = 0;
+  Crc32 file_crc_;
 
   std::thread writer_;
 };
@@ -437,17 +480,54 @@ class LogSource {
   /// torn tail was dropped.
   bool clean_end() const { return clean_end_; }
 
-  /// Bytes dropped from a torn tail (0 on a clean end).
+  /// Bytes dropped from a torn tail (0 on a clean end).  The index footer
+  /// is never counted: a new reader recognizes it and stops cleanly where
+  /// a pre-index reader would have recovered-to-prefix past it.
   std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+  /// The spool's index footer, lazily read from the end of the file:
+  /// nullptr for trace files, pre-index spools, and torn footers (callers
+  /// then fall back to sequential scans, or to build_spool_index when they
+  /// genuinely need an index).  Restores the stream position, so it is
+  /// safe to call mid-stream.
+  const SpoolIndex* index();
+
+  /// Repositions the stream at the chunk covering `gc` — the first chunk
+  /// whose prefix-max gc reaches it — so decoding forward sees every
+  /// schedule/trace item at or beyond that position: O(log chunks) with a
+  /// footer, one sequential index-rebuilding scan without.  Returns false
+  /// (stream at end) when gc lies beyond the recording.  After a seek the
+  /// whole-file CRC check is disabled (the stream no longer covers every
+  /// byte) and truncated_bytes resets.  Spool backend only.
+  bool seek_to_gc(GlobalCount gc);
+
+  /// Repositions the stream at chunk `i` of the index.  Same semantics and
+  /// preconditions as seek_to_gc.
+  void seek_to_chunk(std::size_t i);
+
+  // Frame facts of the chunk currently streaming (valid once next() has
+  // yielded an item; used by index rebuilds and per-chunk consumers).
+  /// Chunks consumed so far; the current item's chunk is ordinal() - 1.
+  std::size_t chunk_ordinal() const { return chunks_read_; }
+  std::uint64_t chunk_offset() const { return chunk_offset_; }
+  std::uint32_t chunk_stored_len() const { return chunk_stored_len_; }
+  std::uint8_t chunk_codec() const { return chunk_codec_; }
+  std::uint32_t chunk_raw_len() const {
+    return static_cast<std::uint32_t>(chunk_.size());
+  }
 
  private:
   std::optional<SpoolItem> next_spool_item();
   std::optional<SpoolItem> next_trace_item();
   /// Reads and verifies the next chunk into chunk_/chunk_pos_; false at
-  /// end of file or torn tail (sets truncated_bytes_).
+  /// end of file, torn tail (sets truncated_bytes_), or index footer.
   bool read_chunk();
   bool read_exact(std::uint8_t* out, std::size_t n);
   std::uint64_t read_varint();
+  /// Ensures index_ holds something: the footer if present, else a
+  /// sequential index-rebuilding scan of the file (seek support for
+  /// pre-index and torn-footer spools).
+  const SpoolIndex* ensure_index();
 
   std::FILE* file_ = nullptr;
   std::string path_;
@@ -463,9 +543,27 @@ class LogSource {
   Bytes chunk_;
   std::size_t chunk_pos_ = 0;
 
-  // Trace backend: records not yet yielded.
+  // Spool backend: current chunk frame facts + running stream state for
+  // the whole-file CRC (fed the header and every accepted chunk's frame +
+  // stored payload; checked against the footer at a clean, unseeked end).
+  std::size_t chunks_read_ = 0;
+  std::uint64_t chunk_offset_ = 0;
+  std::uint32_t chunk_stored_len_ = 0;
+  std::uint8_t chunk_codec_ = 0;
+  Crc32 stream_crc_;
+  bool seeked_ = false;
+  bool footer_seen_ = false;  ///< read_chunk met the footer magic
+
+  // Lazily loaded index (footer or rebuilt scan); tried_footer_ gates the
+  // one-time footer pread.
+  std::optional<SpoolIndex> index_;
+  bool tried_footer_ = false;
+
+  // Trace backend: records not yet yielded; hash_reads_ makes read_exact
+  // feed stream_crc_ so the trailing CRC can be verified at end of stream.
   std::uint64_t trace_remaining_ = 0;
   GlobalCount trace_prev_gc_ = 0;
+  bool hash_reads_ = false;
 };
 
 /// Pull adapter yielding individual trace records from a LogSource
@@ -484,6 +582,19 @@ class TraceRecordStream {
   std::size_t pos_ = 0;
 };
 
+/// How to load a spool file back (both loaders below).
+struct SpoolLoadOptions {
+  /// Worker threads for the indexed parallel path: 0 = auto (min(cores,
+  /// 8)), 1 = the sequential path.  Spools without a readable index footer
+  /// always load sequentially.  The parallel path preads and decodes
+  /// chunks concurrently (chunks are independently decodable — deltas
+  /// restart per item) and folds the decoded pieces in chunk order, so the
+  /// reconstructed VmLog / trace / digest are bit-identical to the
+  /// sequential path; any validation failure against the footer falls back
+  /// to the sequential scan rather than erroring differently.
+  std::size_t threads = 0;
+};
+
 /// Everything one spool file holds, folded back into in-memory structures
 /// (tests, offline inspection).  trace.records come out gc-sorted.
 struct SpoolContents {
@@ -492,7 +603,8 @@ struct SpoolContents {
   bool clean_end = false;
   std::uint64_t truncated_bytes = 0;
 };
-SpoolContents load_spool(const std::string& path);
+SpoolContents load_spool(const std::string& path,
+                         const SpoolLoadOptions& options = {});
 
 /// Streams just the replay-relevant items (schedule, network, finish) of a
 /// spool file into a VmLog, skipping trace bodies entirely — resident
@@ -502,6 +614,13 @@ SpoolContents load_spool(const std::string& path);
 /// intervals encode (every critical event lands in exactly one interval),
 /// which is precisely what replaying the prefix will execute.  Sets
 /// *clean_end when non-null.
-VmLog load_spooled_log(const std::string& path, bool* clean_end = nullptr);
+VmLog load_spooled_log(const std::string& path, bool* clean_end = nullptr,
+                       const SpoolLoadOptions& options = {});
+
+/// Rebuilds a SpoolIndex by sequentially scanning (and decoding) `path` —
+/// the fallback that keeps seek_to_gc available for pre-index spools and
+/// torn footers.  Covers exactly the recoverable prefix; from_footer is
+/// false and file_crc is 0 (unchecked).
+SpoolIndex build_spool_index(const std::string& path);
 
 }  // namespace djvu::record

@@ -144,9 +144,17 @@ TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
 
 TraceDiff diff_trace_files(const std::string& path_a,
                            const std::string& path_b,
-                           std::size_t context_events) {
+                           std::size_t context_events, GlobalCount start_gc) {
   LogSource source_a(path_a);
   LogSource source_b(path_b);
+  if (start_gc > 0) {
+    // Spool inputs jump to the covering chunk through the index (footer or
+    // rebuilt); trace files cannot seek and are skipped forward by the gc
+    // filter below.  seek_to_gc returning false just means an empty
+    // restricted stream.
+    if (!source_a.is_trace_file()) source_a.seek_to_gc(start_gc);
+    if (!source_b.is_trace_file()) source_b.seek_to_gc(start_gc);
+  }
   TraceRecordStream stream_a(source_a);
   TraceRecordStream stream_b(source_b);
 
@@ -154,9 +162,12 @@ TraceDiff diff_trace_files(const std::string& path_a,
   // anything; enforce it as we go (a multi-threaded spool interleaves
   // per-thread batches and fails here).
   GlobalCount prev_a = 0, prev_b = 0;
-  auto pull = [](TraceRecordStream& s, GlobalCount& prev,
-                 const std::string& path) {
-    std::optional<sched::TraceRecord> r = s.next();
+  auto pull = [start_gc](TraceRecordStream& s, GlobalCount& prev,
+                         const std::string& path) {
+    std::optional<sched::TraceRecord> r;
+    do {
+      r = s.next();
+    } while (r && r->gc < start_gc);  // covering chunk may start below
     if (r) {
       if (r->gc < prev) {
         throw UsageError(path +

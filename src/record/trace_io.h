@@ -65,9 +65,17 @@ TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
 /// ended, not total counts.  Throws UsageError when a stream yields records
 /// out of gc order (a multi-threaded spool — load it with load_spool and
 /// use diff_traces instead).
+///
+/// start_gc > 0 restricts the diff to records at gc >= start_gc.  Spool
+/// inputs seek there through the index (LogSource::seek_to_gc — O(log
+/// chunks) with a footer instead of decoding the prefix); trace files skip
+/// forward while streaming.  position is then relative to the first
+/// compared record, and records below start_gc are assumed equal — use it
+/// when an earlier pass already located the divergence region.
 TraceDiff diff_trace_files(const std::string& path_a,
                            const std::string& path_b,
-                           std::size_t context_events = 3);
+                           std::size_t context_events = 3,
+                           GlobalCount start_gc = 0);
 
 /// One-line rendering of a trace record.
 std::string to_text(const sched::TraceRecord& r);

@@ -45,7 +45,11 @@ struct DoctorReport {
   bool clean_end = true;
   std::uint64_t truncated_bytes = 0;
 
-  /// Shape statistics of the recorded log (record/log_stats.h).
+  /// Shape statistics of the recorded log (record/log_stats.h).  When the
+  /// spool carries an index footer these come from the footer sums plus
+  /// the finish item (threads, intervals, critical events, mean interval
+  /// length, network entries — exact); interval-length extremes and the
+  /// byte budget need a full decode and stay zero on that path.
   record::LogStats stats{};
 
   /// The thread + interval that owned the divergence position during
@@ -75,6 +79,12 @@ void diagnose(DoctorReport& report, const record::VmLog& log);
 /// report's VM name, falling back to matching vm_id in each file header
 /// via record::LogSource).  A missing log yields log_found == false with a
 /// note instead of an error.
+///
+/// Spools with an index footer diagnose without reading the whole file:
+/// the footer proves a clean end, supplies the thread totals and shape
+/// statistics, and seek_to_chunk jumps straight to the chunks around the
+/// divergence for the owner/context decode.  Footerless spools keep the
+/// original two full-file passes.
 DoctorReport diagnose_spool(const sched::DivergenceReport& divergence,
                             const std::string& path);
 

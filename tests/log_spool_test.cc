@@ -336,8 +336,9 @@ TEST(LogSpool, SpooledLogMatchesBundlePath) {
   for (const auto& info : zrec.vms) {
     EXPECT_LE(info.spool.written_bytes,
               info.spool.raw_bytes +
-                  info.spool.chunks_written * 9 + 15)
+                  info.spool.chunks_written * 9 + 15 + info.spool.index_bytes)
         << info.name;
+    EXPECT_GT(info.spool.index_bytes, 0u) << info.name;
   }
 }
 
@@ -369,9 +370,12 @@ TEST(LogSpool, TornFinishChunkReplaysCompletely) {
   auto rec = s.record(921);
   const std::string path = rec.vm("app").spool_path;
 
-  // Shaving one byte tears the final chunk — which holds only the finish
-  // marker, so the whole schedule and trace survive.
-  truncate_file(path, file_size(path) - 1);
+  // Shaving the index footer plus one byte tears the final chunk — which
+  // holds only the finish marker, so the whole schedule and trace survive.
+  // (Shaving less than the footer only tears the footer itself, which
+  // costs nothing but the index: see spool_index_test.)
+  truncate_file(path,
+                file_size(path) - rec.vm("app").spool.index_bytes - 1);
   record::SpoolContents torn = record::load_spool(path);
   EXPECT_FALSE(torn.clean_end);
   EXPECT_GT(torn.truncated_bytes, 0u);

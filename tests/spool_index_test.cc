@@ -1,0 +1,467 @@
+// The spool index footer and everything built on it.
+//
+// Covers:
+//   * crc32_combine: stitching segment CRCs equals hashing the whole;
+//   * footer fidelity: the sealed footer decodes to exactly the index a
+//     sequential rebuild scan produces, plus an authoritative file CRC;
+//   * fallbacks: a torn footer and a pre-index (Options::index = false)
+//     spool both load cleanly through the sequential path, and seeking
+//     still works via the rebuild scan;
+//   * seek_to_gc: lands on the covering chunk at and across chunk
+//     boundaries (per-chunk gc ranges overlap and are non-monotone), and
+//     reports positions beyond the recording;
+//   * parallel load equivalence: the threaded indexed loader folds a
+//     bit-identical VmLog and trace across {compression} x {order mode};
+//   * determinism pins: equal-gc trace records keep file order under both
+//     loaders (stable sort), the whole-file CRC catches corruption the
+//     per-chunk CRCs cannot see (the file header), and the trace-file
+//     trailing CRC is verified when streaming;
+//   * the replay doctor's indexed fast path agrees with the footerless
+//     two-pass diagnosis on owner, context, totals and verdict.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/crc32.h"
+#include "core/session.h"
+#include "record/log_spool.h"
+#include "record/serializer.h"
+#include "record/spool_index.h"
+#include "record/trace_io.h"
+#include "replay/doctor.h"
+#include "tests/test_util.h"
+#include "vm/shared_var.h"
+#include "vm/socket_api.h"
+#include "vm/thread.h"
+#include "vm/vm.h"
+
+namespace djvu {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "spool_index_test_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+/// Writes a small spool with a known five-interval schedule across two
+/// threads, one batch per chunk (tiny chunk_bytes), and returns the path.
+/// Chunk gc ranges overlap and are non-monotone on purpose:
+///   chunk 0: t0 [0,9] + [20,29]   -> gc range [0,29]
+///   chunk 1: t1 [10,19] + [30,39] -> gc range [10,39]
+///   chunk 2: t0 [40,49]           -> gc range [40,49]
+std::string write_known_spool(const std::string& dir, bool index = true) {
+  const std::string path = dir + "/vm.djvuspool";
+  record::LogSpooler::Options opts;
+  opts.path = path;
+  opts.chunk_bytes = 8;  // below one batch's size: one batch per chunk
+  opts.index = index;
+  record::LogSpooler spooler(7, opts);
+  spooler.schedule_batch(0, {{0, 9}, {20, 29}});
+  spooler.schedule_batch(1, {{10, 19}, {30, 39}});
+  spooler.schedule_batch(0, {{40, 49}});
+  record::RecordStats stats;
+  stats.critical_events = 50;
+  spooler.finish(stats, 2);
+  spooler.close();
+  return path;
+}
+
+/// Decodes forward from the source's current position and returns the
+/// first interval containing `pos`, if any schedule item covers it.
+std::optional<sched::LogicalInterval> find_owner(record::LogSource& source,
+                                                 GlobalCount pos) {
+  while (std::optional<record::SpoolItem> item = source.next()) {
+    if (item->kind != record::SpoolItemKind::kSchedule) continue;
+    auto [thread, intervals] = record::decode_schedule_item(item->body);
+    for (const sched::LogicalInterval& iv : intervals) {
+      if (iv.first <= pos && pos <= iv.last) return iv;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- crc32_combine ----------------------------------------------------------
+
+TEST(Crc32Combine, SplitEqualsWhole) {
+  Bytes whole;
+  std::uint64_t x = 0x243f6a8885a308d3ULL;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    whole.push_back(static_cast<std::uint8_t>(x));
+  }
+  const std::uint32_t expect = crc32(whole);
+  // Every split point, including degenerate empty halves.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{500},
+                          std::size_t{999}, whole.size()}) {
+    const BytesView a(whole.data(), cut);
+    const BytesView b(whole.data() + cut, whole.size() - cut);
+    EXPECT_EQ(crc32_combine(crc32(a), crc32(b), b.size()), expect) << cut;
+  }
+  // And a three-way stitch, the shape the parallel loader uses.
+  const std::uint32_t ab = crc32_combine(
+      crc32(BytesView(whole.data(), 100)),
+      crc32(BytesView(whole.data() + 100, 300)), 300);
+  EXPECT_EQ(crc32_combine(ab, crc32(BytesView(whole.data() + 400, 600)), 600),
+            expect);
+}
+
+// --- footer fidelity and fallbacks ------------------------------------------
+
+TEST(SpoolIndex, FooterMatchesRebuiltScan) {
+  const std::string dir = fresh_dir("fidelity");
+  const std::string path = write_known_spool(dir);
+
+  record::SpoolIndex rebuilt = record::build_spool_index(path);
+  EXPECT_FALSE(rebuilt.from_footer);
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  ASSERT_TRUE(f);
+  std::optional<record::SpoolIndex> footer =
+      record::read_spool_footer(f.get(), file_size(path));
+  ASSERT_TRUE(footer.has_value());
+  EXPECT_TRUE(footer->from_footer);
+  EXPECT_NE(footer->file_crc, 0u);
+
+  // The footer records exactly what an independent decode scan sees.
+  EXPECT_EQ(footer->chunks, rebuilt.chunks);
+  EXPECT_EQ(footer->data_end, rebuilt.data_end);
+  EXPECT_EQ(footer->prefix_max_gc, rebuilt.prefix_max_gc);
+  ASSERT_EQ(footer->chunks.size(), 4u);  // 3 schedule chunks + finish chunk
+  EXPECT_EQ(footer->chunks[0].min_gc, 0u);
+  EXPECT_EQ(footer->chunks[0].max_gc, 29u);
+  EXPECT_EQ(footer->chunks[1].min_gc, 10u);
+  EXPECT_EQ(footer->chunks[1].max_gc, 39u);
+  EXPECT_EQ(footer->chunks[2].min_gc, 40u);
+  EXPECT_EQ(footer->chunks[2].max_gc, 49u);
+  EXPECT_FALSE(footer->chunks[3].has_gc);  // finish carries no schedule
+
+  // Per-thread totals: t0 has 3 intervals / 30 events, t1 has 2 / 20.
+  const auto totals = footer->totals_by_thread();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].intervals, 3u);
+  EXPECT_EQ(totals[0].sched_events, 30u);
+  EXPECT_EQ(totals[1].intervals, 2u);
+  EXPECT_EQ(totals[1].sched_events, 20u);
+}
+
+TEST(SpoolIndex, TornFooterFallsBackToCleanSequentialLoad) {
+  const std::string dir = fresh_dir("torn");
+  const std::string path = write_known_spool(dir);
+  const Bytes baseline = record::serialize(record::load_spooled_log(path));
+
+  // Shave one byte: the trailer magic is destroyed but every chunk —
+  // finish included — survives, so the file is a complete recording that
+  // merely lost its index.
+  std::filesystem::resize_file(path, file_size(path) - 1);
+
+  record::LogSource source(path);
+  EXPECT_EQ(source.index(), nullptr);  // no (valid) footer
+
+  bool clean = false;
+  record::VmLog log = record::load_spooled_log(path, &clean);
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(record::serialize(log), baseline);
+
+  // Seeking still works through the rebuild-scan fallback.
+  record::LogSource seeker(path);
+  ASSERT_TRUE(seeker.seek_to_gc(35));
+  const auto owner = find_owner(seeker, 35);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(*owner, (sched::LogicalInterval{30, 39}));
+}
+
+TEST(SpoolIndex, PreIndexSpoolLoadsAndSeeks) {
+  const std::string dir = fresh_dir("preindex");
+  const std::string path = write_known_spool(dir, /*index=*/false);
+
+  record::LogSource source(path);
+  EXPECT_EQ(source.index(), nullptr);
+
+  bool clean = false;
+  record::VmLog log = record::load_spooled_log(path, &clean);
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(log.stats.critical_events, 50u);
+
+  record::LogSource seeker(path);
+  ASSERT_TRUE(seeker.seek_to_gc(42));
+  const auto owner = find_owner(seeker, 42);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(*owner, (sched::LogicalInterval{40, 49}));
+}
+
+// --- seek_to_gc -------------------------------------------------------------
+
+TEST(SpoolIndex, SeekToGcFindsCoveringChunkAtBoundaries) {
+  const std::string dir = fresh_dir("seek");
+  const std::string path = write_known_spool(dir);
+
+  struct Case {
+    GlobalCount pos;
+    sched::LogicalInterval expect;
+  };
+  // Boundary positions of every interval plus interior points; the
+  // covering chunk for gc in [10, 29] requires the prefix-max search (the
+  // t1 intervals live in a LATER chunk whose range starts lower than the
+  // previous chunk's maximum).
+  const Case cases[] = {
+      {0, {0, 9}},    {9, {0, 9}},    {10, {10, 19}}, {19, {10, 19}},
+      {20, {20, 29}}, {29, {20, 29}}, {30, {30, 39}}, {39, {30, 39}},
+      {40, {40, 49}}, {45, {40, 49}}, {49, {40, 49}},
+  };
+  for (const Case& c : cases) {
+    record::LogSource source(path);
+    ASSERT_TRUE(source.seek_to_gc(c.pos)) << c.pos;
+    const auto owner = find_owner(source, c.pos);
+    ASSERT_TRUE(owner.has_value()) << c.pos;
+    EXPECT_EQ(*owner, c.expect) << c.pos;
+  }
+
+  // Beyond the last recorded event: seek reports an empty stream.
+  record::LogSource beyond(path);
+  EXPECT_FALSE(beyond.seek_to_gc(50));
+  EXPECT_FALSE(beyond.next().has_value());
+}
+
+// --- parallel load equivalence ----------------------------------------------
+
+constexpr int kMsgs = 4;
+
+void echo_server_main(vm::Vm& v) {
+  vm::ServerSocket listener(v, 4801);
+  vm::SharedVar<std::uint64_t> x(v, 0);
+  std::vector<vm::VmThread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back(v, [&] {
+      for (int i = 0; i < 40; ++i) x.set(x.get() + 1);
+    });
+  }
+  auto conn = listener.accept();
+  for (int m = 0; m < kMsgs; ++m) {
+    Bytes msg = testutil::read_exactly(*conn, 4);
+    conn->output_stream().write(msg);
+  }
+  conn->close();
+  for (auto& th : threads) th.join();
+}
+
+void echo_client_main(vm::Vm& v) {
+  vm::SharedVar<std::uint64_t> y(v, 0);
+  vm::VmThread th(v, [&] {
+    for (int i = 0; i < 40; ++i) y.set(y.get() + 1);
+  });
+  auto sock = testutil::connect_retry(v, {1, 4801});
+  for (int m = 0; m < kMsgs; ++m) {
+    Bytes msg = to_bytes("p" + std::to_string(m) + "qq");
+    msg.resize(4, '!');
+    sock->output_stream().write(msg);
+    testutil::read_exactly(*sock, 4);
+  }
+  sock->close();
+  th.join();
+}
+
+class ParallelLoad
+    : public ::testing::TestWithParam<std::tuple<bool, OrderMode>> {};
+
+TEST_P(ParallelLoad, BitIdenticalToSequential) {
+  const auto [compress, mode] = GetParam();
+  const std::string dir =
+      fresh_dir(std::string("par_") + (compress ? "lz_" : "raw_") +
+                order_mode_name(mode));
+  core::SessionConfig cfg;
+  cfg.tuning.spool_dir = dir;
+  cfg.tuning.spool_chunk_bytes = 512;  // many chunks to fold
+  cfg.tuning.spool_compress = compress;
+  cfg.tuning.order_mode = mode;
+  core::Session s(cfg);
+  s.add_vm("server", 1, true, echo_server_main);
+  s.add_vm("client", 2, true, echo_client_main);
+  auto rec = s.record(77);
+
+  for (const char* name : {"server", "client"}) {
+    const std::string& path = rec.vm(name).spool_path;
+    ASSERT_FALSE(path.empty()) << name;
+    EXPECT_GT(rec.vm(name).spool.chunks_written, 1u) << name;
+
+    record::SpoolLoadOptions sequential;
+    sequential.threads = 1;
+    record::SpoolLoadOptions parallel;
+    parallel.threads = 4;
+
+    record::SpoolContents a = record::load_spool(path, sequential);
+    record::SpoolContents b = record::load_spool(path, parallel);
+    EXPECT_TRUE(a.clean_end) << name;
+    EXPECT_TRUE(b.clean_end) << name;
+    EXPECT_EQ(b.truncated_bytes, 0u) << name;
+    // Bit-identical fold: the serialized bundle, the trace stream and its
+    // digest all agree with the sequential decode.
+    EXPECT_EQ(record::serialize(a.log), record::serialize(b.log)) << name;
+    EXPECT_EQ(a.trace.records, b.trace.records) << name;
+    EXPECT_EQ(sched::trace_digest(a.trace.records),
+              sched::trace_digest(b.trace.records))
+        << name;
+
+    bool clean_a = false;
+    bool clean_b = false;
+    record::VmLog la = record::load_spooled_log(path, &clean_a, sequential);
+    record::VmLog lb = record::load_spooled_log(path, &clean_b, parallel);
+    EXPECT_TRUE(clean_a) << name;
+    EXPECT_TRUE(clean_b) << name;
+    EXPECT_EQ(record::serialize(la), record::serialize(lb)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompressionByOrderMode, ParallelLoad,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(OrderMode::kTotal,
+                                         OrderMode::kCausal)));
+
+// --- determinism pins -------------------------------------------------------
+
+TEST(SpoolLoad, EqualGcTraceRecordsKeepFileOrder) {
+  const std::string dir = fresh_dir("stable");
+  const std::string path = dir + "/vm.djvuspool";
+  record::LogSpooler::Options opts;
+  opts.path = path;
+  opts.chunk_bytes = 16;  // one trace batch per chunk
+  record::LogSpooler spooler(3, opts);
+  // Two batches in separate chunks sharing gc 5: a stable sort must keep
+  // batch (file) order; an unstable one is free to swap them.
+  spooler.trace_batch({{4, 0, sched::EventKind::kSharedRead, 11},
+                       {5, 0, sched::EventKind::kSharedRead, 111}});
+  spooler.trace_batch({{5, 1, sched::EventKind::kSharedWrite, 222},
+                       {6, 1, sched::EventKind::kSharedWrite, 33}});
+  spooler.schedule_batch(0, {{0, 9}});
+  record::RecordStats stats;
+  stats.critical_events = 10;
+  spooler.finish(stats, 2);
+  spooler.close();
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    record::SpoolLoadOptions options;
+    options.threads = threads;
+    record::SpoolContents contents = record::load_spool(path, options);
+    ASSERT_EQ(contents.trace.records.size(), 4u) << threads;
+    EXPECT_EQ(contents.trace.records[1].aux, 111u) << threads;
+    EXPECT_EQ(contents.trace.records[2].aux, 222u) << threads;
+  }
+}
+
+TEST(SpoolLoad, WholeFileCrcCatchesHeaderCorruption) {
+  const std::string dir = fresh_dir("hdrcrc");
+  const std::string path = write_known_spool(dir);
+  // The vm_id bytes of the file header are covered by no chunk CRC — only
+  // the footer's whole-file CRC can notice this flip.
+  flip_byte(path, 10);
+
+  record::LogSource source(path);
+  EXPECT_THROW(
+      {
+        while (source.next()) {
+        }
+      },
+      LogFormatError);
+}
+
+TEST(TraceFileCrc, TrailingCrcVerifiedWhenStreaming) {
+  const std::string dir = fresh_dir("trccrc");
+  const std::string path = dir + "/vm.djvutrace";
+  record::TraceFile trace;
+  trace.vm_id = 4;
+  for (GlobalCount g = 0; g < 32; ++g) {
+    trace.records.push_back(
+        {g, static_cast<ThreadNum>(g % 2), sched::EventKind::kSharedRead, g});
+  }
+  record::save_trace_to_file(trace, path);
+
+  // Flip a byte inside the LAST record's aux field: varint structure stays
+  // intact, so only the trailing CRC — previously unverified on the
+  // streaming path — can catch it.
+  flip_byte(path, file_size(path) - 6);
+  record::LogSource source(path);
+  EXPECT_THROW(
+      {
+        while (source.next()) {
+        }
+      },
+      LogFormatError);
+}
+
+// --- doctor fast path -------------------------------------------------------
+
+TEST(DoctorIndex, IndexedAndFallbackDiagnosesAgree) {
+  const std::string dir = fresh_dir("doctor");
+  const std::string indexed = write_known_spool(dir);
+  // Same recording without its footer: forces the two-pass legacy path.
+  const std::string stripped = dir + "/stripped.djvuspool";
+  std::filesystem::copy(indexed, stripped);
+  std::filesystem::resize_file(stripped, file_size(stripped) - 1);
+
+  sched::DivergenceReport report;
+  report.vm_id = 7;
+  report.cause = DivergenceCause::kBeyondSchedule;
+  report.thread = 1;
+  report.thread_events_replayed = 25;
+  report.has_expected = true;
+  report.expected_gc = 35;  // inside t1's interval [30, 39]
+
+  replay::DoctorReport fast = replay::diagnose_spool(report, indexed);
+  replay::DoctorReport slow = replay::diagnose_spool(report, stripped);
+
+  for (const replay::DoctorReport* doc : {&fast, &slow}) {
+    EXPECT_TRUE(doc->log_found);
+    EXPECT_TRUE(doc->clean_end);
+    EXPECT_EQ(doc->truncated_bytes, 0u);
+    ASSERT_TRUE(doc->owner_known);
+    EXPECT_EQ(doc->recorded_owner_thread, 1u);
+    EXPECT_EQ(doc->recorded_owner_interval, (sched::LogicalInterval{30, 39}));
+    EXPECT_EQ(doc->thread_recorded_events, 20u);
+    EXPECT_EQ(doc->thread_recorded_intervals, 2u);
+    EXPECT_EQ(doc->stats.critical_events, 50u);
+    EXPECT_EQ(doc->stats.intervals, 5u);
+    EXPECT_EQ(doc->stats.threads, 2u);
+    EXPECT_FALSE(doc->notes.empty());
+  }
+  // The context windows agree interval-for-interval.
+  ASSERT_EQ(fast.context.size(), slow.context.size());
+  for (std::size_t i = 0; i < fast.context.size(); ++i) {
+    EXPECT_EQ(fast.context[i].thread, slow.context[i].thread) << i;
+    EXPECT_EQ(fast.context[i].interval, slow.context[i].interval) << i;
+    EXPECT_EQ(fast.context[i].owns_divergence,
+              slow.context[i].owns_divergence)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace djvu
