@@ -22,10 +22,16 @@
 //                (three arms: memory, spool_ring, spool_queue — the latter
 //                two differ only in tuning.spool_ring, i.e. lock-free SPSC
 //                producer rings vs the mutex/condvar queue)
-//   --smoke      small spool grid; exit nonzero if the ring arm is >15%
-//                slower than in-memory, or >10% slower than the queue arm
-//                (the hot-path regression tripwires; both need >= 2 cores
-//                for overlap to be possible)
+//   --flight     add a fourth arm: flight-recorder mode (bounded on-disk
+//                retention ring + periodic checkpoint anchors) on top of
+//                the spool_ring producer path.  Retention overhead =
+//                flight vs the unbounded spool_ring arm.
+//   --smoke      small spool grid (implies --spool and --flight); exit
+//                nonzero if the ring arm is >15% slower than in-memory,
+//                >10% slower than the queue arm, or the flight arm is >5%
+//                slower than unbounded spool_ring (the regression
+//                tripwires; all need >= 2 cores for overlap to be
+//                possible)
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +44,7 @@
 
 #include "bench/emit_json.h"
 #include "net/network.h"
+#include "record/log_spool.h"
 #include "sched/sched_stats.h"
 #include "vm/shared_var.h"
 #include "vm/thread.h"
@@ -123,7 +130,12 @@ Result best_of(int threads, bool shared_object, bool sharding) {
 // memory = in-memory VmLog (no spooler at all); ring/queue = spooled, with
 // the producer-side handoff being per-thread SPSC rings vs the shared
 // mutex/condvar queue (tuning.spool_ring on/off, on-disk format identical).
-enum class SpoolMode { kMemory, kRing, kQueue };
+// flight = spool_ring plus the flight-recorder retention ring: sealed
+// chunks land in a bounded on-disk directory (oldest evicted as new ones
+// seal) and the main thread ships periodic checkpoint anchors, so the arm
+// pays for everything always-on recording adds — anchor chunks, per-chunk
+// ring-file IO, eviction, and the final tail reassembly in finish_record.
+enum class SpoolMode { kMemory, kRing, kQueue, kFlight };
 
 const char* spool_mode_name(SpoolMode m) {
   switch (m) {
@@ -131,8 +143,10 @@ const char* spool_mode_name(SpoolMode m) {
       return "memory";
     case SpoolMode::kRing:
       return "spool_ring";
-    default:
+    case SpoolMode::kQueue:
       return "spool_queue";
+    default:
+      return "flight";
   }
 }
 
@@ -153,7 +167,12 @@ SpoolResult run_record_arm(int threads, SpoolMode mode, int iters,
   cfg.mode = vm::Mode::kRecord;
   cfg.keep_trace = true;
   cfg.tuning.record_sharding = true;
-  cfg.tuning.spool_ring = mode == SpoolMode::kRing;
+  cfg.tuning.spool_ring =
+      mode == SpoolMode::kRing || mode == SpoolMode::kFlight;
+  if (mode == SpoolMode::kFlight) {
+    cfg.tuning.flight_recorder = true;
+    cfg.tuning.retention_chunks = 4;  // small enough that eviction runs
+  }
   if (mode != SpoolMode::kMemory) cfg.spool_path = spool_path;
   vm::Vm v(network, cfg);
   v.attach_main();
@@ -166,8 +185,21 @@ SpoolResult run_record_arm(int threads, SpoolMode mode, int iters,
     std::vector<vm::VmThread> workers;
     workers.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      workers.emplace_back(v, [&var, per_thread] {
-        for (int i = 0; i < per_thread; ++i) var.set(var.get() + 1);
+      // In flight mode, worker 0 ships a checkpoint anchor at regular
+      // iteration milestones, standing in for Checkpointer barriers: each
+      // seals the chunk assembling plus its own anchor chunk and advances
+      // the eviction horizon, so the arm pays the full retention cost
+      // (anchor chunks, eviction, ring-file IO) interleaved with the work.
+      const bool anchors = mode == SpoolMode::kFlight && t == 0;
+      workers.emplace_back(v, [&var, &v, per_thread, anchors] {
+        const int interval = per_thread > 6 ? per_thread / 6 : 1;
+        for (int i = 0; i < per_thread; ++i) {
+          if (anchors && i > 0 && i % interval == 0) {
+            v.spool_anchor(record::SpoolAnchor{
+                static_cast<std::uint32_t>(i / interval), 0, 0, 0, {}});
+          }
+          var.set(var.get() + 1);
+        }
       });
     }
     for (auto& w : workers) w.join();
@@ -183,7 +215,10 @@ SpoolResult run_record_arm(int threads, SpoolMode mode, int iters,
   r.events_per_sec = static_cast<double>(r.events) / r.seconds;
   r.spool = v.spool_stats();
   v.detach_current();
-  if (mode != SpoolMode::kMemory) std::filesystem::remove(spool_path);
+  if (mode != SpoolMode::kMemory) {
+    std::filesystem::remove(spool_path);
+    std::filesystem::remove_all(record::flight_ring_dir(spool_path));
+  }
   return r;
 }
 
@@ -211,7 +246,11 @@ Json to_json(const SpoolResult& r) {
       .field("ring_high_water_bytes", r.spool.ring_high_water_bytes)
       .field("ring_records", r.spool.ring_records)
       .field("writer_parks", r.spool.writer_parks)
-      .field("producer_blocks", r.spool.producer_blocks);
+      .field("producer_blocks", r.spool.producer_blocks)
+      .field("evicted_chunks", r.spool.evicted_chunks)
+      .field("retained_chunks", r.spool.retained_chunks)
+      .field("retained_bytes", r.spool.retained_bytes)
+      .field("anchor_chunks", r.spool.anchor_chunks);
 }
 
 Json to_json(const Result& r) {
@@ -236,10 +275,12 @@ int main(int argc, char** argv) {
   using namespace djvu::bench;
 
   bool spool_only = false;
+  bool flight = false;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spool") == 0) spool_only = true;
-    if (std::strcmp(argv[i], "--smoke") == 0) spool_only = smoke = true;
+    if (std::strcmp(argv[i], "--flight") == 0) spool_only = flight = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) spool_only = flight = smoke = true;
   }
 
   const char* tmp = std::getenv("TMPDIR");
@@ -263,15 +304,23 @@ int main(int argc, char** argv) {
         best_record_arm(threads, SpoolMode::kRing, spool_iters, spool_path);
     SpoolResult queue =
         best_record_arm(threads, SpoolMode::kQueue, spool_iters, spool_path);
+    SpoolResult fly;
+    if (flight) {
+      fly = best_record_arm(threads, SpoolMode::kFlight, spool_iters,
+                            spool_path);
+    }
     spool_records.push_back(to_json(mem));
     spool_records.push_back(to_json(ring));
     spool_records.push_back(to_json(queue));
+    if (flight) spool_records.push_back(to_json(fly));
     std::printf("%8d %12s %10.3f %10s %12s %14s %10s\n", threads, "memory",
                 mem.events_per_sec / 1e6, "-", "-", "-", "-");
-    for (const SpoolResult* sp : {&ring, &queue}) {
+    std::vector<const SpoolResult*> arms{&ring, &queue};
+    if (flight) arms.push_back(&fly);
+    for (const SpoolResult* sp : arms) {
       const double hw = static_cast<double>(
-          sp->mode == SpoolMode::kRing ? sp->spool.ring_high_water_bytes
-                                       : sp->spool.queue_high_water_bytes);
+          sp->mode == SpoolMode::kQueue ? sp->spool.queue_high_water_bytes
+                                        : sp->spool.ring_high_water_bytes);
       std::printf("%8d %12s %10.3f %9.2fx %12.1f %14.1f %10llu\n", threads,
                   spool_mode_name(sp->mode), sp->events_per_sec / 1e6,
                   mem.events_per_sec / sp->events_per_sec,
@@ -294,6 +343,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "TRIPWIRE: spool_ring record >10%% slower than spool_queue "
                    "at %d threads\n", threads);
+      tripwire = true;
+    }
+    if (flight) {
+      std::printf("%8s %12s chunks=%llu evicted=%llu retained=%llu "
+                  "anchors=%llu\n", "", "(flight)",
+                  static_cast<unsigned long long>(fly.spool.chunks_written),
+                  static_cast<unsigned long long>(fly.spool.evicted_chunks),
+                  static_cast<unsigned long long>(fly.spool.retained_chunks),
+                  static_cast<unsigned long long>(fly.spool.anchor_chunks));
+    }
+    // Flight mode is meant to be always-on: bounded retention must cost
+    // <5% over unbounded spooling on the same producer path.
+    if (smoke && multicore && fly.seconds > 1.05 * ring.seconds) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: flight-recorder record >5%% slower than "
+                   "unbounded spool_ring at %d threads\n", threads);
       tripwire = true;
     }
   }

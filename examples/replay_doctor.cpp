@@ -94,6 +94,9 @@ int main(int argc, char** argv) {
   const std::string out_dir =
       argc > 1 ? argv[1] : (std::string(tmp ? tmp : "/tmp") + "/replay_doctor");
   const std::string spool_dir = out_dir + "/spool";
+  // Fresh spool dir each run: record mode refuses directories holding
+  // spools of unknown provenance (e.g. from a pre-manifest build).
+  std::filesystem::remove_all(spool_dir);
   std::filesystem::create_directories(out_dir);
 
   // 1. Record the ring workload, spooled to disk.

@@ -84,6 +84,23 @@ CheckpointLog deserialize(BytesView data) {
   return log;
 }
 
+CheckpointLog anchors_to_log(
+    DjvmId vm_id, const std::vector<record::SpoolAnchor>& anchors) {
+  CheckpointLog log;
+  log.vm_id = vm_id;
+  log.checkpoints.reserve(anchors.size());
+  for (const record::SpoolAnchor& a : anchors) {
+    Checkpoint cp;
+    cp.phase = a.phase;
+    cp.gc = a.gc;
+    cp.threads_created = a.threads_created;
+    cp.main_event_num = a.main_event_num;
+    cp.state = a.state;
+    log.checkpoints.push_back(std::move(cp));
+  }
+  return log;
+}
+
 void save_to_file(const CheckpointLog& log, const std::string& path) {
   Bytes data = serialize(log);
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
@@ -146,6 +163,11 @@ void Checkpointer::barrier(std::uint32_t phase) {
     }
     cp.threads_created = static_cast<std::uint32_t>(vm_.thread_count());
     cp.main_event_num = main.next_network_event;
+    // Flight-recorder spools additionally carry the checkpoint inline as a
+    // kAnchor item (its own chunk), advancing the retention ring's eviction
+    // horizon — a no-op for plain spools and in-memory logs.
+    vm_.spool_anchor(record::SpoolAnchor{cp.phase, cp.gc, cp.threads_created,
+                                         cp.main_event_num, cp.state});
     recorded_.checkpoints.push_back(std::move(cp));
     return;
   }

@@ -74,6 +74,13 @@ CheckpointLog deserialize(BytesView data);
 void save_to_file(const CheckpointLog& log, const std::string& path);
 CheckpointLog load_from_file(const std::string& path);
 
+/// Rebuilds a CheckpointLog from the kAnchor items embedded in a
+/// flight-recorder spool tail (record::read_spool_anchors), so an incident
+/// bundle is resumable without a separately-saved DJVUCKP file.  The fields
+/// of record::SpoolAnchor mirror Checkpoint one-for-one.
+CheckpointLog anchors_to_log(DjvmId vm_id,
+                             const std::vector<record::SpoolAnchor>& anchors);
+
 /// Snapshot/restore hooks for one piece of application state.
 struct Tracked {
   std::function<Bytes()> save;

@@ -114,6 +114,35 @@ struct TuningConfig {
   /// load sequentially whatever this says.
   std::size_t spool_load_threads = 0;
 
+  // --- flight recorder (bounded always-on recording) -----------------------
+
+  /// Flight-recorder mode: instead of one append-only spool file, sealed
+  /// chunks land in a bounded per-VM retention ring on disk
+  /// (`<file>.djvuspool.d/`), oldest evicted as new ones seal, and the
+  /// retained tail is assembled into a normal indexed spool file when the
+  /// run seals (finish, crash cleanup, or post-mortem via
+  /// record::assemble_flight_tail).  Eviction never crosses the newest
+  /// checkpoint-anchor chunk, so the tail always replays from its oldest
+  /// surviving chunk boundary (docs/INTERNALS.md §1g).  Requires spool_dir.
+  bool flight_recorder = false;
+
+  /// Flight-recorder retention bound, in sealed chunks (0 = no count bound).
+  /// Both bounds are soft against correctness: chunks at or after the
+  /// newest anchor are never evicted even when over budget.
+  std::size_t retention_chunks = 64;
+
+  /// Flight-recorder retention bound, in stored chunk bytes (0 = no byte
+  /// bound).
+  std::uint64_t retention_bytes = 0;
+
+  /// When non-empty, Session seals an incident bundle — spool tail,
+  /// DivergenceReport JSON, Perfetto trace, manifest — into a timestamped
+  /// directory under this path when a run dies (replay divergence or a
+  /// crash unwinding out of a VM main), and arms async-signal-safe
+  /// SIGSEGV/SIGABRT marker handlers during flight-recorder record runs.
+  /// Empty = incidents are not materialized (the default).
+  std::string incident_dir;
+
   friend bool operator==(const TuningConfig&, const TuningConfig&) = default;
 };
 

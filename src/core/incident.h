@@ -1,0 +1,95 @@
+// Incident bundles: the materialization half of flight-recorder mode.
+//
+// A flight-recorder deployment records always-on into bounded retention
+// rings (record/log_spool.h, docs/INTERNALS.md §1g) and only *keeps*
+// anything when a run dies.  This module turns the moment of death into a
+// self-contained, timestamped directory — the incident bundle — holding
+// everything a later diagnosis needs:
+//
+//   incident-<YYYYMMDD-HHMMSS>[-N]/
+//     manifest.txt       DJVUINC1 text manifest: kind, time, per-tail
+//                        truncated_bytes, originating spool dir
+//     spool/             the retained spool tails (plus the run manifest),
+//                        copied out of the live directory so later runs
+//                        cannot clobber the evidence
+//     divergence.json    the blame-ordered DivergenceReport set (when the
+//                        incident is a replay divergence)
+//     report.txt/.json   the replay doctor's cross-reference of the
+//                        selected divergence against the retained tail
+//     trace.json         Perfetto/chrome://tracing timeline of the tails
+//
+// Partially-sealed tails are honest: a ring directory left by a crash (or
+// a fatal signal) is assembled with record::assemble_flight_tail, which
+// recovers to the longest valid chunk prefix and reports the bytes it had
+// to drop; the manifest records that `truncated_bytes` per tail so the
+// doctor reports a shortened tail as a finding instead of silently
+// diagnosing against less history than the user expects.
+//
+// Fatal signals: arm_incident_signals() installs SIGSEGV/SIGABRT handlers
+// that use only async-signal-safe calls (open/write/close on
+// pre-formatted paths) to drop an INCIDENT marker file into every armed
+// ring directory, then restore the default disposition and re-raise.  The
+// rings themselves survive the process (chunk files are sealed as they are
+// written); the marker tells the next reader — incident_runner or
+// seal_incident — that the tail ended in signal `N` rather than a clean
+// close.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/divergence.h"
+
+namespace djvu::core {
+
+/// One spool tail captured into a bundle.
+struct IncidentTail {
+  std::string name;        ///< spool file name (e.g. "server.djvuspool")
+  std::uint64_t truncated_bytes = 0;  ///< bytes dropped by recover-to-prefix
+  bool from_ring = false;  ///< assembled from a leftover flight ring
+  int marker_signal = 0;   ///< fatal signal recorded by an INCIDENT marker
+};
+
+/// A sealed incident bundle.
+struct IncidentBundle {
+  std::string dir;  ///< the bundle directory
+  std::string kind;  ///< "divergence", "crash" or "signal"
+  std::vector<IncidentTail> tails;
+
+  /// Sum of per-tail truncated_bytes (0 = every tail was intact).
+  std::uint64_t truncated_bytes() const;
+};
+
+/// Seals an incident bundle under `incident_dir` from the spool files in
+/// `spool_dir`.  Leftover flight rings (`*.djvuspool.d/`) are assembled
+/// into tails first (recover-to-prefix; per-tail truncated_bytes recorded
+/// in the manifest).  `kind` labels the incident ("divergence", "crash",
+/// "signal").  When `divergence` is non-null the bundle additionally
+/// carries divergence.json (with `all` when supplied), the doctor's
+/// report.txt/report.json diagnosed against the captured tail, and the
+/// divergence marker on the Perfetto timeline.  Throws Error when the
+/// bundle cannot be created; partial diagnosis failures (e.g. an
+/// undecodable tail) degrade to manifest notes instead of throwing.
+IncidentBundle seal_incident(
+    const std::string& incident_dir, const std::string& spool_dir,
+    const std::string& kind,
+    const sched::DivergenceReport* divergence = nullptr,
+    const std::vector<sched::DivergenceReport>* all = nullptr);
+
+/// Reads back a bundle's manifest.txt (kind + tails).  Throws Error when
+/// `bundle_dir` does not hold a manifest, LogFormatError when it does not
+/// parse.
+IncidentBundle read_incident_manifest(const std::string& bundle_dir);
+
+/// Arms async-signal-safe SIGSEGV/SIGABRT handlers that drop an INCIDENT
+/// marker file into each of `ring_dirs` (capped at an internal fixed
+/// capacity; extra dirs are ignored), then re-raise with the default
+/// disposition.  Re-arming replaces the previous set.  Not thread-safe
+/// against concurrent arm/disarm — Session brackets each record run.
+void arm_incident_signals(const std::vector<std::string>& ring_dirs);
+
+/// Restores the previous SIGSEGV/SIGABRT dispositions.
+void disarm_incident_signals();
+
+}  // namespace djvu::core

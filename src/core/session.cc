@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <filesystem>
 #include <set>
 #include <thread>
 
 #include "common/log.h"
+#include "core/incident.h"
 #include "record/chrome_trace.h"
 #include "record/log_spool.h"
+#include "record/run_manifest.h"
 #include "record/serializer.h"
 #include "record/trace_io.h"
 #include "sched/divergence.h"
@@ -82,6 +85,60 @@ void Session::add_vm(std::string name, net::HostId host, bool djvm,
 }
 
 RunResult Session::run(const RunSpec& spec) {
+  if (config_.tuning.incident_dir.empty()) return run_spec(spec);
+  try {
+    return run_spec(spec);
+  } catch (const sched::ReportedDivergenceError& e) {
+    const std::string dir = incident_spool_dir(spec);
+    if (!dir.empty()) {
+      try {
+        last_incident_dir_ =
+            seal_incident(config_.tuning.incident_dir, dir, "divergence",
+                          &e.report(), &e.all_reports())
+                .dir;
+      } catch (const Error& seal_err) {
+        DJVU_LOG(kWarn) << "incident bundle failed to seal: "
+                        << seal_err.what();
+      }
+    }
+    throw;
+  } catch (const UsageError&) {
+    // Misuse is not an incident: nothing about the recording is evidence.
+    throw;
+  } catch (const std::exception& e) {
+    // A crash unwinding out of a run: capture whatever spool state the VM
+    // destructors just sealed (flight rings assemble recover-to-prefix).
+    const std::string dir = incident_spool_dir(spec);
+    std::error_code ec;
+    if (!dir.empty() && std::filesystem::is_directory(dir, ec)) {
+      try {
+        last_incident_dir_ =
+            seal_incident(config_.tuning.incident_dir, dir, "crash").dir;
+      } catch (const Error& seal_err) {
+        DJVU_LOG(kWarn) << "incident bundle failed to seal: "
+                        << seal_err.what();
+      }
+    }
+    (void)e;
+    throw;
+  }
+}
+
+std::string Session::incident_spool_dir(const RunSpec& spec) const {
+  switch (spec.mode) {
+    case RunSpec::Mode::kNative:
+      return "";
+    case RunSpec::Mode::kRecord:
+      return spec.spool_dir ? *spec.spool_dir : config_.tuning.spool_dir;
+    case RunSpec::Mode::kReplay:
+      if (spec.recording) return spec.recording->dir;
+      if (spec.recorded != nullptr) return spec.recorded->spool_dir;
+      return "";
+  }
+  return "";
+}
+
+RunResult Session::run_spec(const RunSpec& spec) {
   switch (spec.mode) {
     case RunSpec::Mode::kNative:
       return run_impl(vm::Mode::kPassthrough, nullptr, spec.seed, "");
@@ -127,12 +184,30 @@ RunResult Session::run(const RunSpec& spec) {
           }
         }
       } else {
+        // Prefer the run manifest when the directory carries one: it names
+        // exactly the files of the recorded run, so stale spools from an
+        // earlier (pre-manifest) recording in the same directory can never
+        // be picked up by name coincidence.
+        std::optional<record::RunManifest> manifest;
+        if (record::run_manifest_exists(spec.recording->dir)) {
+          manifest = record::load_run_manifest(spec.recording->dir);
+        }
         for (const auto& s : specs_) {
           if (!s.djvm) continue;
+          std::string file =
+              spec.recording->dir + "/" + s.name + ".djvuspool";
+          if (manifest) {
+            const record::RunManifestVm* vm = manifest->by_name(s.name);
+            if (vm == nullptr) {
+              throw UsageError(
+                  "recording manifest in '" + spec.recording->dir +
+                  "' lists no VM named '" + s.name +
+                  "' — the recording was made with a different VM set");
+            }
+            file = vm->spool_path(spec.recording->dir);
+          }
           logs.push_back(std::make_shared<const record::VmLog>(
-              record::load_spooled_log(
-                  spec.recording->dir + "/" + s.name + ".djvuspool", nullptr,
-                  load_options)));
+              record::load_spooled_log(file, nullptr, load_options)));
         }
       }
       return run_impl(vm::Mode::kReplay, &logs, spec.seed, "");
@@ -207,7 +282,58 @@ RunResult Session::run_impl(
   auto network = std::make_shared<net::Network>(net_config);
 
   const bool spooling = djvm_mode == vm::Mode::kRecord && !spool_dir.empty();
-  if (spooling) std::filesystem::create_directories(spool_dir);
+  if (spooling) {
+    // Stale-spool lifecycle (bugfix): a reused directory may hold
+    // .djvuspool files from a previous run with a *different* VM set —
+    // replay_from()/diagnose_spool would pick those orphans up.  A
+    // directory our own manifest claims is cleared wholesale before the
+    // new run; spool files of unknown provenance (no manifest — a
+    // pre-manifest recording or someone else's data) are refused with a
+    // clear error rather than silently deleted.
+    namespace fs = std::filesystem;
+    fs::create_directories(spool_dir);
+    bool has_spools = false;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(spool_dir, ec)) {
+      const fs::path& p = entry.path();
+      if (p.extension() == ".djvuspool" ||
+          (p.extension() == ".d" &&
+           fs::path(p.stem()).extension() == ".djvuspool")) {
+        has_spools = true;
+        break;
+      }
+    }
+    if (has_spools) {
+      if (!record::run_manifest_exists(spool_dir)) {
+        throw UsageError(
+            "spool directory '" + spool_dir +
+            "' contains .djvuspool files without a run manifest (" +
+            std::string(record::kRunManifestFile) +
+            ") — not produced by this framework's record mode, or older "
+            "than the manifest scheme; delete them or record into a fresh "
+            "directory");
+      }
+      for (const auto& entry : fs::directory_iterator(spool_dir, ec)) {
+        const fs::path& p = entry.path();
+        if (p.extension() == ".djvuspool") {
+          fs::remove(p, ec);
+        } else if (p.extension() == ".d" &&
+                   fs::path(p.stem()).extension() == ".djvuspool") {
+          fs::remove_all(p, ec);
+        }
+      }
+    }
+    record::RunManifest manifest;
+    manifest.unix_time = static_cast<std::int64_t>(std::time(nullptr));
+    manifest.order_mode = config_.tuning.order_mode;
+    manifest.flight_recorder = config_.tuning.flight_recorder;
+    for (const auto& spec : specs_) {
+      if (spec.djvm) {
+        manifest.vms.push_back(record::RunManifestVm{spec.vm_id, spec.name});
+      }
+    }
+    record::save_run_manifest(manifest, spool_dir);
+  }
 
   // World knowledge: the hosts that run DJVMs.
   std::set<net::HostId> djvm_hosts;
@@ -263,6 +389,29 @@ RunResult Session::run_impl(
         &spec,
         std::make_unique<vm::Vm>(network, std::move(cfg), std::move(replay_log)),
         {}, nullptr});
+  }
+
+  // Flight-recorder runs with an incident destination arm the fatal-signal
+  // markers for the duration of the run: SIGSEGV/SIGABRT drop an INCIDENT
+  // marker into each live retention ring (async-signal-safe) before
+  // re-raising, so a post-mortem seal_incident knows the tails ended in a
+  // signal.  RAII so every exit path disarms.
+  struct SignalGuard {
+    bool armed = false;
+    ~SignalGuard() {
+      if (armed) disarm_incident_signals();
+    }
+  } signal_guard;
+  if (spooling && config_.tuning.flight_recorder &&
+      !config_.tuning.incident_dir.empty()) {
+    std::vector<std::string> rings;
+    for (auto& r : running) {
+      if (r.machine->spooling()) {
+        rings.push_back(record::flight_ring_dir(r.machine->spool_path()));
+      }
+    }
+    arm_incident_signals(rings);
+    signal_guard.armed = true;
   }
 
   const auto start = std::chrono::steady_clock::now();

@@ -225,6 +225,13 @@ class Session {
   /// (offline diffing; see record/trace_io.h).  Requires keep_trace.
   static void save_traces(const RunResult& run, const std::string& dir);
 
+  /// The incident bundle sealed by the most recent failed run ("" when no
+  /// run has sealed one).  Populated only with tuning.incident_dir set: a
+  /// replay divergence or a crash unwinding out of a spooled run seals the
+  /// spool tails + forensics into a timestamped directory (core/incident.h)
+  /// before the error propagates to the caller.
+  const std::string& last_incident_dir() const { return last_incident_dir_; }
+
  private:
   struct VmSpec {
     std::string name;
@@ -233,6 +240,15 @@ class Session {
     std::function<void(vm::Vm&)> main;
     DjvmId vm_id;  // assigned in declaration order (DJVMs only)
   };
+
+  /// run() minus incident sealing: resolves the spec's log source and
+  /// dispatches to run_impl.  run() wraps this in the incident try/catch
+  /// when tuning.incident_dir is set.
+  RunResult run_spec(const RunSpec& spec);
+
+  /// The spool directory a failed `spec` would have been using (record
+  /// destination or replay source); "" when the run had no disk footprint.
+  std::string incident_spool_dir(const RunSpec& spec) const;
 
   /// `logs` (replay only) are ready to consume as-is: run() has already
   /// serializer-roundtripped in-memory bundles / loaded each spool exactly
@@ -245,6 +261,7 @@ class Session {
 
   SessionConfig config_;
   std::vector<VmSpec> specs_;
+  std::string last_incident_dir_;
 };
 
 /// Compares record and replay results; throws a

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "common/crc32.h"
@@ -237,29 +239,86 @@ std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_delta_item(
   return {thread, std::move(seqs)};
 }
 
+Bytes encode_anchor_item(const SpoolAnchor& anchor) {
+  ByteWriter w;
+  w.varint(anchor.phase);
+  w.varint(anchor.gc);
+  w.varint(anchor.threads_created);
+  w.varint(anchor.main_event_num);
+  w.varint(anchor.state.size());
+  for (const auto& [name, data] : anchor.state) {
+    w.str(name);
+    w.bytes(data);
+  }
+  return w.take();
+}
+
+SpoolAnchor decode_anchor_item(BytesView body) {
+  ByteReader r(body);
+  SpoolAnchor anchor;
+  anchor.phase = static_cast<std::uint32_t>(r.varint());
+  anchor.gc = r.varint();
+  anchor.threads_created = static_cast<std::uint32_t>(r.varint());
+  anchor.main_event_num = r.varint();
+  const std::uint64_t entries = r.varint();
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::string name = r.str();
+    anchor.state.emplace(std::move(name), r.bytes());
+  }
+  if (!r.at_end()) throw LogFormatError("trailing bytes in anchor item");
+  return anchor;
+}
+
 // --- LogSpooler -------------------------------------------------------------
 
 LogSpooler::LogSpooler(DjvmId vm_id, Options options)
     : options_(std::move(options)) {
-  file_ = std::fopen(options_.path.c_str(), "wb");
-  if (file_ == nullptr) {
-    throw Error("cannot open spool file " + options_.path + " for writing");
-  }
   ByteWriter header;
   header.raw(BytesView(reinterpret_cast<const std::uint8_t*>(kSpoolMagic), 8));
   header.u16(kSpoolVersion);
   header.u32(vm_id);
   header.u8(options_.compress ? 1 : 0);
-  const BytesView hv = header.view();
-  if (std::fwrite(hv.data(), 1, hv.size(), file_) != hv.size() ||
-      std::fflush(file_) != 0) {
-    std::fclose(file_);
-    file_ = nullptr;
-    throw Error("cannot write spool header to " + options_.path);
+  header_bytes_ = header.take();
+  const BytesView hv = header_bytes_;
+  if (options_.flight_recorder) {
+    // Flight mode: chunks land as ring files; the final file only appears
+    // at seal time.  Clear any leftovers of a previous crashed run at this
+    // path first — a stale ring or half-sealed tail must not shadow or mix
+    // with this run's data.
+    ring_dir_ = flight_ring_dir(options_.path);
+    std::error_code ec;
+    std::filesystem::remove_all(ring_dir_, ec);
+    std::filesystem::remove(options_.path, ec);
+    std::filesystem::create_directories(ring_dir_, ec);
+    if (ec) {
+      throw Error("cannot create flight ring directory " + ring_dir_);
+    }
+    const std::string header_path = ring_dir_ + "/header";
+    std::FILE* hf = std::fopen(header_path.c_str(), "wb");
+    const bool wrote =
+        hf != nullptr &&
+        std::fwrite(hv.data(), 1, hv.size(), hf) == hv.size() &&
+        std::fflush(hf) == 0;
+    if (hf != nullptr) std::fclose(hf);
+    if (!wrote) {
+      throw Error("cannot write flight ring header to " + header_path);
+    }
+  } else {
+    file_ = std::fopen(options_.path.c_str(), "wb");
+    if (file_ == nullptr) {
+      throw Error("cannot open spool file " + options_.path + " for writing");
+    }
+    if (std::fwrite(hv.data(), 1, hv.size(), file_) != hv.size() ||
+        std::fflush(file_) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      throw Error("cannot write spool header to " + options_.path);
+    }
   }
   counters_.written_bytes.store(hv.size(), std::memory_order_relaxed);
   // Seed the index state with the header before the writer starts: the
-  // whole-file CRC covers every byte up to the footer.
+  // whole-file CRC covers every byte up to the footer.  (Flight mode
+  // reseeds both at seal-assembly time.)
   file_offset_ = hv.size();
   if (options_.index) file_crc_.update(hv);
   writer_ = std::thread([this] { writer_main(); });
@@ -332,8 +391,29 @@ void LogSpooler::finish(const RecordStats& stats, std::uint32_t thread_count) {
   // it and seals it into its own final chunk only after the queue and
   // every ring have drained, so it is always the last item on disk and a
   // torn final chunk costs exactly the clean-end marker.
-  enqueue({SpoolItemKind::kFinish, encode_finish_item({stats, thread_count}),
-           /*records=*/{}, /*cost=*/0});
+  try {
+    enqueue({SpoolItemKind::kFinish, encode_finish_item({stats, thread_count}),
+             /*records=*/{}, /*cost=*/0});
+  } catch (...) {
+    // finish() racing a writer failure: the marker never made it into the
+    // queue, so un-latch finished_ — the recording stays an unfinished
+    // prefix and close() reports the writer error rather than this call
+    // silently claiming a clean end.
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished_ = false;
+    throw;
+  }
+}
+
+void LogSpooler::anchor(const SpoolAnchor& anchor) {
+  Item item{SpoolItemKind::kAnchor, encode_anchor_item(anchor),
+            /*records=*/{}, /*cost=*/0};
+  if (options_.index) {
+    item.meta.has_gc = true;
+    item.meta.min_gc = anchor.gc;
+    item.meta.max_gc = anchor.gc;
+  }
+  enqueue(std::move(item));
 }
 
 void LogSpooler::enqueue(Item item) {
@@ -407,15 +487,28 @@ std::uint8_t* LogSpooler::reserve_record(SpoolRing& ring, std::size_t bytes) {
   // window.
   ring.blocks.fetch_add(1, std::memory_order_relaxed);
   ring.producer_waiting.store(true, std::memory_order_relaxed);
+  // Clear the parked flag on every exit, the abort throw included — a
+  // producer that left via check_producer_abort must not leave the writer
+  // (or a later failure sweep) forever re-notifying a flag nobody resets.
+  struct Unpark {
+    std::atomic<bool>& waiting;
+    ~Unpark() { waiting.store(false, std::memory_order_relaxed); }
+  } unpark{ring.producer_waiting};
   for (;;) {
     check_producer_abort();
     std::atomic_thread_fence(std::memory_order_seq_cst);
     p = ring.ring.try_reserve(bytes);
-    if (p != nullptr) {
-      ring.producer_waiting.store(false, std::memory_order_relaxed);
-      return p;
-    }
+    if (p != nullptr) return p;
     std::unique_lock<std::mutex> lock(ring.mutex);
+    // Re-check failure/close under ring.mutex before sleeping: the writer's
+    // failure path stores failed_ and then notifies under this same mutex,
+    // so either this check sees the flag (next check_producer_abort throws)
+    // or the notify arrives after we wait — the wake is lock-ordered, not
+    // backstop-dependent.
+    if (failed_.load(std::memory_order_acquire) ||
+        closed_.load(std::memory_order_acquire)) {
+      continue;
+    }
     ring.cv.wait_for(lock, kProducerParkBackstop);
   }
 }
@@ -603,6 +696,17 @@ bool LogSpooler::drain_queue() {
     if (item.kind == SpoolItemKind::kFinish) {
       finish_body_ = std::move(item.body);
       finish_pending_ = true;
+      continue;
+    }
+    if (item.kind == SpoolItemKind::kAnchor) {
+      // The anchor gets its own chunk so a chunk boundary lands exactly at
+      // the checkpoint: seal whatever is assembling, then seal the anchor
+      // alone.  write_ring_chunk consumes pending_anchor_chunk_ to mark the
+      // new eviction horizon (a no-op outside flight mode).
+      flush_chunk();
+      pending_anchor_chunk_ = true;
+      append_item(static_cast<std::uint8_t>(item.kind), item.body, item.meta);
+      flush_chunk();
       continue;
     }
     if (!item.records.empty()) {
@@ -793,6 +897,9 @@ bool LogSpooler::all_channels_empty() {
 
 void LogSpooler::seal_finish() {
   flush_chunk();
+  // Flight mode: assemble the retained tail into the final file first, so
+  // the finish chunk and footer below append to it through the normal path.
+  if (options_.flight_recorder) begin_flight_seal();
   append_item(static_cast<std::uint8_t>(SpoolItemKind::kFinish), finish_body_);
   flush_chunk();
   finish_pending_ = false;
@@ -853,8 +960,11 @@ void LogSpooler::writer_main() {
       ring_wake_pending_ = false;
     }
     // Abnormal close (no finish item): flush whatever was packed so the
-    // file recovers as a prefix.
+    // file recovers as a prefix.  Flight mode additionally assembles the
+    // retained tail into the final file (no finish chunk, no footer — the
+    // same recover-to-prefix shape a crashed append-only spool has).
     flush_chunk();
+    if (options_.flight_recorder && !sealing_) begin_flight_seal();
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -874,6 +984,11 @@ void LogSpooler::writer_main() {
 }
 
 void LogSpooler::write_chunk(BytesView payload) {
+  if (options_.fail_chunk != 0 &&
+      counters_.chunks_written.load(std::memory_order_relaxed) + 1 >=
+          options_.fail_chunk) {
+    throw Error("injected spool writer fault: " + options_.path);
+  }
   Bytes compressed;
   BytesView out = payload;
   SpoolCodec codec = SpoolCodec::kRaw;
@@ -889,6 +1004,11 @@ void LogSpooler::write_chunk(BytesView payload) {
   frame.u8(static_cast<std::uint8_t>(codec));
   frame.u32(crc32(out));
   const BytesView fv = frame.view();
+  if (options_.flight_recorder && !sealing_) {
+    write_ring_chunk(fv, out, payload.size(),
+                     static_cast<std::uint8_t>(codec));
+    return;
+  }
   if (std::fwrite(fv.data(), 1, fv.size(), file_) != fv.size() ||
       std::fwrite(out.data(), 1, out.size(), file_) != out.size() ||
       std::fflush(file_) != 0) {
@@ -915,6 +1035,14 @@ void LogSpooler::write_chunk(BytesView payload) {
   counters_.raw_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   counters_.written_bytes.fetch_add(fv.size() + out.size(),
                                     std::memory_order_relaxed);
+  if (options_.flight_recorder) {
+    // Sealing path: this chunk (the finish marker) lands directly in the
+    // assembled tail, so it counts toward the retained totals — after
+    // seal, retained_* describe the assembled file.
+    counters_.retained_chunks.fetch_add(1, std::memory_order_relaxed);
+    counters_.retained_bytes.fetch_add(fv.size() + out.size(),
+                                       std::memory_order_relaxed);
+  }
 }
 
 void LogSpooler::write_footer() {
@@ -930,6 +1058,132 @@ void LogSpooler::write_footer() {
   index_entries_.clear();
   counters_.index_bytes.store(footer.size(), std::memory_order_relaxed);
   counters_.written_bytes.fetch_add(footer.size(), std::memory_order_relaxed);
+}
+
+// --- flight-recorder retention ring (writer side) ---------------------------
+
+namespace {
+
+std::string ring_chunk_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%012llu.chunk",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+}  // namespace
+
+void LogSpooler::write_ring_chunk(BytesView frame, BytesView stored,
+                                  std::size_t raw_len, std::uint8_t codec) {
+  FlightChunk fc;
+  fc.seq = next_chunk_seq_++;
+  fc.bytes = frame.size() + stored.size();
+  fc.anchor = pending_anchor_chunk_;
+  const std::string path = ring_dir_ + "/" + ring_chunk_name(fc.seq);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const bool wrote =
+      f != nullptr &&
+      std::fwrite(frame.data(), 1, frame.size(), f) == frame.size() &&
+      std::fwrite(stored.data(), 1, stored.size(), f) == stored.size() &&
+      std::fflush(f) == 0;
+  if (f != nullptr) std::fclose(f);
+  if (!wrote) throw Error("flight ring chunk write failed: " + path);
+  if (options_.index) {
+    fc.info = pending_meta_;
+    fc.info.stored_len = static_cast<std::uint32_t>(stored.size());
+    fc.info.raw_len = static_cast<std::uint32_t>(raw_len);
+    fc.info.codec = codec;
+    fc.info.threads.reserve(pending_threads_.size());
+    for (const auto& [thread, counts] : pending_threads_) {
+      fc.info.threads.push_back(counts);
+    }
+  }
+  pending_meta_ = SpoolChunkInfo{};
+  pending_threads_.clear();
+  pending_anchor_chunk_ = false;
+  if (fc.anchor) {
+    have_anchor_ = true;
+    newest_anchor_seq_ = fc.seq;
+    counters_.anchor_chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+  retained_bytes_total_ += fc.bytes;
+  retained_.push_back(std::move(fc));
+  counters_.chunks_written.fetch_add(1, std::memory_order_relaxed);
+  counters_.raw_bytes.fetch_add(raw_len, std::memory_order_relaxed);
+  counters_.written_bytes.fetch_add(frame.size() + stored.size(),
+                                    std::memory_order_relaxed);
+  evict_over_budget();
+  counters_.retained_chunks.store(retained_.size(),
+                                  std::memory_order_relaxed);
+  counters_.retained_bytes.store(retained_bytes_total_,
+                                 std::memory_order_relaxed);
+}
+
+void LogSpooler::evict_over_budget() {
+  const auto over = [&] {
+    return (options_.retention_chunks != 0 &&
+            retained_.size() > options_.retention_chunks) ||
+           (options_.retention_bytes != 0 &&
+            retained_bytes_total_ > options_.retention_bytes);
+  };
+  // Oldest-first, and never at or past the newest anchor chunk: the tail
+  // must keep starting at a chunk boundary whose state is anchored (or at
+  // chunk 0 when no anchor exists yet — then nothing may evict at all, so
+  // staying over budget is the correct failure mode).
+  while (over() && have_anchor_ && retained_.front().seq < newest_anchor_seq_) {
+    const FlightChunk& victim = retained_.front();
+    const std::string path = ring_dir_ + "/" + ring_chunk_name(victim.seq);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort; the ring dir goes
+                                        // away wholesale at seal time
+    retained_bytes_total_ -= victim.bytes;
+    counters_.evicted_chunks.fetch_add(1, std::memory_order_relaxed);
+    counters_.evicted_bytes.fetch_add(victim.bytes,
+                                      std::memory_order_relaxed);
+    retained_.pop_front();
+  }
+}
+
+void LogSpooler::begin_flight_seal() {
+  sealing_ = true;
+  file_ = std::fopen(options_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw Error("cannot open spool file " + options_.path + " for sealing");
+  }
+  const BytesView hv = header_bytes_;
+  if (std::fwrite(hv.data(), 1, hv.size(), file_) != hv.size()) {
+    throw Error("spool header write failed: " + options_.path);
+  }
+  file_offset_ = hv.size();
+  file_crc_ = Crc32();
+  if (options_.index) file_crc_.update(hv);
+  index_entries_.clear();
+  Bytes buf;
+  for (FlightChunk& fc : retained_) {
+    const std::string path = ring_dir_ + "/" + ring_chunk_name(fc.seq);
+    std::FILE* cf = std::fopen(path.c_str(), "rb");
+    if (cf == nullptr) throw Error("flight ring chunk missing: " + path);
+    buf.resize(fc.bytes);
+    const bool read_ok =
+        std::fread(buf.data(), 1, buf.size(), cf) == buf.size();
+    std::fclose(cf);
+    if (!read_ok) throw Error("flight ring chunk torn at seal: " + path);
+    if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+      throw Error("spool write failed: " + options_.path);
+    }
+    if (options_.index) {
+      file_crc_.update(buf);
+      fc.info.offset = file_offset_;
+      index_entries_.push_back(std::move(fc.info));
+    }
+    file_offset_ += buf.size();
+  }
+  if (std::fflush(file_) != 0) {
+    throw Error("spool write failed: " + options_.path);
+  }
+  // The tail now lives in the final file; the ring directory is redundant.
+  std::error_code ec;
+  std::filesystem::remove_all(ring_dir_, ec);
 }
 
 void LogSpooler::close() {
@@ -965,6 +1219,12 @@ SpoolStats LogSpooler::stats() const {
       counters_.producer_blocks.load(std::memory_order_relaxed);
   s.writer_parks = counters_.writer_parks.load(std::memory_order_relaxed);
   s.index_bytes = counters_.index_bytes.load(std::memory_order_relaxed);
+  s.retained_chunks =
+      counters_.retained_chunks.load(std::memory_order_relaxed);
+  s.retained_bytes = counters_.retained_bytes.load(std::memory_order_relaxed);
+  s.evicted_chunks = counters_.evicted_chunks.load(std::memory_order_relaxed);
+  s.evicted_bytes = counters_.evicted_bytes.load(std::memory_order_relaxed);
+  s.anchor_chunks = counters_.anchor_chunks.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(rings_mutex_);
   for (const auto& ring : rings_) {
     s.ring_records += ring->records.load(std::memory_order_relaxed);
@@ -1195,7 +1455,7 @@ std::optional<SpoolItem> LogSource::next_spool_item() {
     SpoolItem item;
     const std::uint8_t kind = r.u8();
     if (kind < static_cast<std::uint8_t>(SpoolItemKind::kSchedule) ||
-        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta)) {
+        kind > static_cast<std::uint8_t>(SpoolItemKind::kAnchor)) {
       throw LogFormatError("unknown spool item kind " + std::to_string(kind));
     }
     item.kind = static_cast<SpoolItemKind>(kind);
@@ -1343,6 +1603,10 @@ void fold_item(const SpoolItem& item, VmLog& log, TraceFile* trace) {
       }
       break;
     }
+    case SpoolItemKind::kAnchor:
+      // Checkpoint anchors position the tail for Checkpointer-based resume
+      // (read_spool_anchors); the VmLog itself carries no anchor state.
+      break;
   }
 }
 
@@ -1422,7 +1686,7 @@ void decode_chunk_at(std::FILE* file, const std::string& path,
     ByteReader r(items.subspan(pos));
     const std::uint8_t kind = r.u8();
     if (kind < static_cast<std::uint8_t>(SpoolItemKind::kSchedule) ||
-        kind > static_cast<std::uint8_t>(SpoolItemKind::kCausalDelta)) {
+        kind > static_cast<std::uint8_t>(SpoolItemKind::kAnchor)) {
       throw LogFormatError("unknown spool item kind " + std::to_string(kind));
     }
     const std::uint64_t body_len = r.varint();
@@ -1452,6 +1716,8 @@ void decode_chunk_at(std::FILE* file, const std::string& path,
         out.finish = decode_finish_item(body);
         out.finish_last = (pos == items.size());
         break;
+      case SpoolItemKind::kAnchor:
+        break;  // no VmLog contribution (see fold_item)
     }
   }
 }
@@ -1699,6 +1965,14 @@ SpoolIndex build_spool_index(const std::string& path) {
       }
       case SpoolItemKind::kFinish:
         break;
+      case SpoolItemKind::kAnchor: {
+        // The anchor's gc feeds the chunk range so chunk_covering can land
+        // a seek exactly on the anchor chunk (mirrors the writer-side
+        // ItemMeta the spooler attaches).
+        const SpoolAnchor anchor = decode_anchor_item(item->body);
+        fold_gc(anchor.gc, anchor.gc);
+        break;
+      }
     }
   }
   close_chunk();
@@ -1709,6 +1983,101 @@ SpoolIndex build_spool_index(const std::string& path) {
                 index.chunks.back().stored_len;
   index.finalize();
   return index;
+}
+
+// --- flight-recorder retention ring (offline side) --------------------------
+
+std::string flight_ring_dir(const std::string& spool_path) {
+  return spool_path + ".d";
+}
+
+FlightTailInfo assemble_flight_tail(const std::string& spool_path) {
+  namespace fs = std::filesystem;
+  FlightTailInfo out;
+  const std::string dir = flight_ring_dir(spool_path);
+  const std::string header_path = dir + "/header";
+  std::error_code ec;
+  if (!fs::exists(header_path, ec)) return out;  // sealed normally (or never
+                                                 // a flight spool)
+
+  std::uint8_t header[kSpoolHeaderBytes];
+  {
+    std::FILE* hf = std::fopen(header_path.c_str(), "rb");
+    if (hf == nullptr) throw Error("cannot open " + header_path);
+    const bool ok = std::fread(header, 1, sizeof header, hf) == sizeof header;
+    std::fclose(hf);
+    if (!ok || std::memcmp(header, kSpoolMagic, 8) != 0) {
+      throw LogFormatError("corrupt flight ring header: " + header_path);
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> chunks;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 6 || name.substr(name.size() - 6) != ".chunk") continue;
+    chunks.emplace_back(
+        std::strtoull(name.c_str(), nullptr, 10), entry.path().string());
+  }
+  std::sort(chunks.begin(), chunks.end());
+
+  std::FILE* outf = std::fopen(spool_path.c_str(), "wb");
+  if (outf == nullptr) {
+    throw Error("cannot open " + spool_path + " for writing");
+  }
+  bool ok = std::fwrite(header, 1, sizeof header, outf) == sizeof header;
+  bool torn = false;
+  for (const auto& [seq, path] : chunks) {
+    if (!ok) break;
+    const std::uint64_t size = fs::file_size(path, ec);
+    if (torn) {
+      // Everything after the first torn chunk is dropped with it: the tail
+      // must stay a contiguous prefix of sealed chunks.
+      out.truncated_bytes += size;
+      continue;
+    }
+    Bytes buf(static_cast<std::size_t>(size));
+    std::FILE* cf = std::fopen(path.c_str(), "rb");
+    const bool read_ok =
+        cf != nullptr && std::fread(buf.data(), 1, buf.size(), cf) == buf.size();
+    if (cf != nullptr) std::fclose(cf);
+    bool valid = read_ok && buf.size() >= kChunkFrameBytes;
+    if (valid) {
+      const std::uint32_t len = le32(buf.data());
+      const std::uint32_t crc = le32(buf.data() + 5);
+      valid = len <= kMaxChunkLen &&
+              buf.size() == kChunkFrameBytes + len &&
+              crc32(BytesView(buf).subspan(kChunkFrameBytes)) == crc;
+    }
+    if (!valid) {
+      // A chunk file mid-fwrite at crash time: recover-to-prefix at chunk
+      // granularity, surfaced (not silently absorbed) via truncated_bytes.
+      torn = true;
+      out.truncated_bytes += size;
+      continue;
+    }
+    ok = std::fwrite(buf.data(), 1, buf.size(), outf) == buf.size();
+    ++out.chunks;
+  }
+  ok = ok && std::fflush(outf) == 0;
+  std::fclose(outf);
+  if (!ok) throw Error("flight tail assembly write failed: " + spool_path);
+  fs::remove_all(dir, ec);
+  out.assembled = true;
+  return out;
+}
+
+std::vector<SpoolAnchor> read_spool_anchors(const std::string& path) {
+  LogSource source(path);
+  if (source.is_trace_file()) {
+    throw UsageError("read_spool_anchors: not a spool file: " + path);
+  }
+  std::vector<SpoolAnchor> anchors;
+  while (std::optional<SpoolItem> item = source.next()) {
+    if (item->kind == SpoolItemKind::kAnchor) {
+      anchors.push_back(decode_anchor_item(item->body));
+    }
+  }
+  return anchors;
 }
 
 }  // namespace djvu::record

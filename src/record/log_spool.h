@@ -97,6 +97,14 @@ enum class SpoolItemKind : std::uint8_t {
   /// Writers emit this kind; kCausal stays readable (same compat argument
   /// as above).
   kCausalDelta = 6,
+  /// A checkpoint anchor (flight-recorder mode): the serialized quiescent-
+  /// point checkpoint — phase, gc, threads created, main event number,
+  /// tracked state — sealed into its own chunk so the retention ring can
+  /// evict everything before it and the surviving tail still replays via
+  /// Checkpointer::resume_at.  Only flight-recorder spools contain this
+  /// kind, so the pre-anchor format compatibility argument from kCausal
+  /// applies unchanged.
+  kAnchor = 7,
 };
 
 /// One decoded item streamed out of a spool (or trace) file.
@@ -109,6 +117,20 @@ struct SpoolItem {
 struct SpoolFinish {
   RecordStats stats;
   std::uint32_t thread_count = 0;
+};
+
+/// A checkpoint anchor's payload (SpoolItemKind::kAnchor): the schedule
+/// position and tracked state of one quiescent-point checkpoint, mirroring
+/// checkpoint::Checkpoint field for field (defined here, not there, so the
+/// record layer stays free of a checkpoint-library dependency).
+struct SpoolAnchor {
+  std::uint32_t phase = 0;
+  GlobalCount gc = 0;
+  std::uint32_t threads_created = 0;
+  EventNum main_event_num = 0;
+  std::map<std::string, Bytes> state;
+
+  friend bool operator==(const SpoolAnchor&, const SpoolAnchor&) = default;
 };
 
 // Item body codecs (shared by the spooler, LogSource, and tests).  Schedule
@@ -131,6 +153,8 @@ Bytes encode_causal_delta_item(ThreadNum thread,
                                const std::vector<std::uint64_t>& seqs);
 std::pair<ThreadNum, std::vector<std::uint64_t>> decode_causal_delta_item(
     BytesView body);
+Bytes encode_anchor_item(const SpoolAnchor& anchor);
+SpoolAnchor decode_anchor_item(BytesView body);
 
 /// Self-measurements of one spooler run.
 ///
@@ -176,6 +200,19 @@ struct SpoolStats {
   /// off or the run ended without a finish item).  Included in
   /// written_bytes.
   std::uint64_t index_bytes = 0;
+
+  // Flight-recorder retention ring (all 0 when flight_recorder is off).
+  /// Sealed chunks currently retained in the ring (or, after seal, in the
+  /// assembled tail).
+  std::uint64_t retained_chunks = 0;
+  /// On-disk bytes (frame + stored payload) of the retained chunks.
+  std::uint64_t retained_bytes = 0;
+  /// Chunks evicted from the front of the ring, cumulatively.
+  std::uint64_t evicted_chunks = 0;
+  /// On-disk bytes those evictions reclaimed, cumulatively.
+  std::uint64_t evicted_bytes = 0;
+  /// Checkpoint-anchor chunks sealed (each is an eviction horizon).
+  std::uint64_t anchor_chunks = 0;
 };
 
 /// Record-side sink for log data.  vm::Vm feeds one of these when spooling
@@ -267,6 +304,26 @@ class LogSpooler : public LogSink {
     /// load path.  Off = the pre-index on-disk format, byte for byte
     /// (tests and ablation baselines).
     bool index = true;
+    /// Flight-recorder mode: sealed chunks land as individual files in a
+    /// bounded on-disk retention ring (`<path>.d/`) instead of one
+    /// append-only file; the oldest are evicted as new ones seal, but never
+    /// at or past the newest checkpoint-anchor chunk, so the retained tail
+    /// always replays from its oldest surviving chunk boundary.  At seal
+    /// time (finish or abnormal close) the surviving tail is assembled into
+    /// a normal spool file at `path` — indexed and finish-marked on a clean
+    /// finish, a recover-to-prefix file otherwise — and the ring directory
+    /// is removed.  After a crash the ring directory survives;
+    /// assemble_flight_tail() reassembles it post-mortem.
+    bool flight_recorder = false;
+    /// Retention bound in sealed chunks (0 = no count bound).  Soft against
+    /// correctness: chunks at or after the newest anchor never evict.
+    std::size_t retention_chunks = 64;
+    /// Retention bound in stored chunk bytes (0 = no byte bound).
+    std::uint64_t retention_bytes = 0;
+    /// Fault injection for tests: when non-zero, the writer throws just
+    /// before sealing its Nth chunk (1-based), exercising the
+    /// writer-failure producer-wakeup path deterministically.
+    std::uint64_t fail_chunk = 0;
   };
 
   /// Opens `options.path` for writing and starts the writer thread; throws
@@ -292,6 +349,14 @@ class LogSpooler : public LogSink {
   void causal_batch(ThreadNum thread,
                     const std::vector<std::uint64_t>& seqs) override;
   void finish(const RecordStats& stats, std::uint32_t thread_count) override;
+
+  /// Ships a checkpoint anchor (flight-recorder mode).  The writer seals
+  /// the chunk currently assembling, then seals the anchor into its own
+  /// chunk, which becomes the new eviction horizon.  Called from the
+  /// checkpoint barrier's quiescent point (main thread, workers joined), so
+  /// the queue handoff is off every hot path.  Outside flight mode the
+  /// anchor is appended like any other item (harmless, but nothing evicts).
+  void anchor(const SpoolAnchor& anchor);
 
   /// Ring mode: creates and registers the calling (recording) thread's
   /// producer ring.  nullptr when Options::ring is off — callers then pass
@@ -380,10 +445,22 @@ class LogSpooler : public LogSink {
   bool all_channels_empty();
   void seal_finish();
   /// Appends one framed chunk to the file and flushes; throws Error on I/O
-  /// failure.  Writer thread only.
+  /// failure.  Writer thread only.  Flight mode routes to write_ring_chunk
+  /// until the seal assembly opens the final file.
   void write_chunk(BytesView payload);
   /// Appends the index footer after the finish chunk (Options::index).
   void write_footer();
+
+  // Flight-recorder writer-side helpers (writer thread only).
+  /// Seals one framed chunk as a ring file and evicts over-budget chunks
+  /// from the front (never at or past the newest anchor chunk).
+  void write_ring_chunk(BytesView frame, BytesView stored,
+                        std::size_t raw_len, std::uint8_t codec);
+  void evict_over_budget();
+  /// Opens the final spool file and copies the retained ring chunks into
+  /// it in order, rebuilding index offsets; write_chunk appends normally
+  /// afterwards.  Removes the ring directory on success.
+  void begin_flight_seal();
 
   const Options options_;
   std::FILE* file_ = nullptr;
@@ -428,6 +505,11 @@ class LogSpooler : public LogSink {
     std::atomic<std::uint64_t> producer_blocks{0};
     std::atomic<std::uint64_t> writer_parks{0};
     std::atomic<std::uint64_t> index_bytes{0};
+    std::atomic<std::uint64_t> retained_chunks{0};
+    std::atomic<std::uint64_t> retained_bytes{0};
+    std::atomic<std::uint64_t> evicted_chunks{0};
+    std::atomic<std::uint64_t> evicted_bytes{0};
+    std::atomic<std::uint64_t> anchor_chunks{0};
   };
   mutable Counters counters_;
 
@@ -447,6 +529,28 @@ class LogSpooler : public LogSink {
   std::map<ThreadNum, SpoolThreadCounts> pending_threads_;
   std::uint64_t file_offset_ = 0;
   Crc32 file_crc_;
+
+  // Flight-recorder writer-private state.  retained_ is the on-disk ring's
+  // in-memory mirror: one entry per surviving chunk file, front = oldest.
+  struct FlightChunk {
+    std::uint64_t seq = 0;
+    std::uint64_t bytes = 0;  ///< on-disk frame + stored payload
+    bool anchor = false;
+    SpoolChunkInfo info;  ///< offset unset until the seal assembly
+  };
+  std::string ring_dir_;
+  Bytes header_bytes_;
+  std::deque<FlightChunk> retained_;
+  std::uint64_t next_chunk_seq_ = 0;
+  std::uint64_t retained_bytes_total_ = 0;
+  std::uint64_t newest_anchor_seq_ = 0;
+  bool have_anchor_ = false;
+  /// Set by the drain loop just before sealing an anchor chunk; consumed
+  /// by write_ring_chunk to mark the FlightChunk.
+  bool pending_anchor_chunk_ = false;
+  /// Flipped by begin_flight_seal: write_chunk appends to file_ from then
+  /// on (the finish chunk and footer land in the assembled tail).
+  bool sealing_ = false;
 
   std::thread writer_;
 };
@@ -622,5 +726,44 @@ VmLog load_spooled_log(const std::string& path, bool* clean_end = nullptr,
 /// torn footers.  Covers exactly the recoverable prefix; from_footer is
 /// false and file_crc is 0 (unchecked).
 SpoolIndex build_spool_index(const std::string& path);
+
+// --- flight-recorder retention ring ------------------------------------------
+
+/// The on-disk retention ring directory backing a flight-recorder spool:
+/// `<spool_path>.d/`, holding `header` (the 15-byte DJVUSPL1 header),
+/// `<seq>.chunk` files (one framed chunk each, zero-padded decimal seq),
+/// and — after a fatal signal — the `INCIDENT` marker the async-signal-safe
+/// handler writes (core/incident.h).
+std::string flight_ring_dir(const std::string& spool_path);
+
+/// What a post-mortem ring assembly found.
+struct FlightTailInfo {
+  /// A ring directory existed and was assembled into `spool_path`.
+  bool assembled = false;
+  /// Chunks accepted into the tail.
+  std::size_t chunks = 0;
+  /// Bytes dropped from the torn end of the ring (a chunk file mid-fwrite
+  /// at crash time, plus anything after it) — recover-to-prefix at chunk
+  /// granularity.  Recorded in incident manifests so the doctor can report
+  /// the shortened tail instead of silently absorbing it.
+  std::uint64_t truncated_bytes = 0;
+};
+
+/// Post-mortem assembly of a crashed flight-recorder ring: if
+/// `<spool_path>.d/` exists, validates each chunk file (frame + CRC) in seq
+/// order, writes header + surviving chunks to `spool_path` (overwriting any
+/// half-sealed file there — the ring is newer), stops at the first torn
+/// chunk counting it and everything later as truncated, and removes the
+/// ring directory.  No finish item and no footer are synthesized: the
+/// result is a recover-to-prefix file, exactly like a crashed append-only
+/// spool.  Returns {assembled = false} when no ring directory exists (the
+/// spool sealed normally); throws Error/LogFormatError on I/O failure or a
+/// corrupt ring header.
+FlightTailInfo assemble_flight_tail(const std::string& spool_path);
+
+/// All checkpoint anchors in a spool file, in stream order.  A tail that
+/// survived eviction starts at an anchor chunk, so front() is the resume
+/// point for Checkpointer-based replay of the tail.
+std::vector<SpoolAnchor> read_spool_anchors(const std::string& path);
 
 }  // namespace djvu::record

@@ -1,0 +1,94 @@
+// The per-directory run manifest: a small text file (`run.djvurun`) written
+// by Session at the start of every spooled record run, naming the run's VMs
+// and the spool file each one writes.
+//
+// Why it exists (spool-lifecycle bugfix): a spool directory reused across
+// runs with a *different* VM set accumulates orphaned `.djvuspool` files —
+// replay_from() and replay::diagnose_spool then pick up logs from a run
+// that never happened together (the doctor's N-way vm-id ambiguity finding
+// is the visible symptom).  The manifest makes directory ownership
+// explicit: record mode clears exactly the spool files a previous
+// manifest'd run left behind (and refuses, with a clear error, to clobber
+// spool files of unknown provenance), while replay and the doctor resolve
+// VM names/ids through the manifest instead of globbing.
+//
+// Format (line-oriented text, first line is the magic):
+//
+//   DJVURUN1
+//   time <unix seconds>
+//   order total|causal
+//   flight 0|1
+//   vm <id> <name>
+//   ...
+//
+// One `vm` line per DJVM, in declaration order; the VM's spool file is
+// `<name>.djvuspool` in the same directory (and `<name>.djvuspool.d/` is
+// its flight-recorder ring while recording).  Unknown keys are ignored so
+// later versions can add fields without breaking old readers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/ids.h"
+#include "common/tuning.h"
+
+namespace djvu::record {
+
+/// Manifest file name inside a spool directory.
+inline constexpr const char* kRunManifestFile = "run.djvurun";
+
+/// One VM of the manifested run.
+struct RunManifestVm {
+  DjvmId vm_id = 0;
+  std::string name;
+
+  /// The VM's spool file path inside `dir`.
+  std::string spool_path(const std::string& dir) const {
+    return dir + "/" + name + ".djvuspool";
+  }
+
+  friend bool operator==(const RunManifestVm&, const RunManifestVm&) = default;
+};
+
+/// The manifest of one spooled record run.
+struct RunManifest {
+  /// Record-run start time (unix seconds; 0 when unknown).
+  std::int64_t unix_time = 0;
+
+  /// Ordering scheme the run recorded under.
+  OrderMode order_mode = OrderMode::kTotal;
+
+  /// Whether the run recorded in flight-recorder (bounded retention) mode.
+  bool flight_recorder = false;
+
+  /// The run's DJVMs, in declaration order.
+  std::vector<RunManifestVm> vms;
+
+  /// Finds a VM by name; nullptr when absent.
+  const RunManifestVm* by_name(const std::string& name) const;
+
+  /// Finds a VM by id; nullptr when absent or ambiguous (ids are unique
+  /// within one run, so ambiguity means a hand-edited manifest).
+  const RunManifestVm* by_id(DjvmId vm_id) const;
+
+  friend bool operator==(const RunManifest&, const RunManifest&) = default;
+};
+
+/// Path of the manifest file inside `dir`.
+std::string run_manifest_path(const std::string& dir);
+
+/// True when `dir` carries a manifest.
+bool run_manifest_exists(const std::string& dir);
+
+/// Writes the manifest into `dir` (overwrites).  Throws Error on I/O
+/// failure.
+void save_run_manifest(const RunManifest& manifest, const std::string& dir);
+
+/// Loads the manifest from `dir`.  Throws Error when the file is missing,
+/// LogFormatError when it does not parse.
+RunManifest load_run_manifest(const std::string& dir);
+
+}  // namespace djvu::record

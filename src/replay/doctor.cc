@@ -5,6 +5,7 @@
 
 #include "common/strutil.h"
 #include "record/log_spool.h"
+#include "record/run_manifest.h"
 
 namespace djvu::replay {
 namespace {
@@ -23,6 +24,24 @@ std::vector<std::string> locate_spool_files(const sched::DivergenceReport& d,
   if (!fs::is_directory(path, ec)) {
     if (fs::exists(path, ec)) return {path};
     return {};
+  }
+  // A run manifest, when present, is authoritative: it names exactly the
+  // files of the recorded run, so stale spools sharing the directory can
+  // never create an N-way vm-id ambiguity.
+  if (record::run_manifest_exists(path)) {
+    try {
+      const record::RunManifest manifest = record::load_run_manifest(path);
+      const record::RunManifestVm* vm =
+          d.vm_name.empty() ? nullptr : manifest.by_name(d.vm_name);
+      if (vm == nullptr) vm = manifest.by_id(d.vm_id);
+      if (vm != nullptr) {
+        const std::string file = vm->spool_path(path);
+        if (fs::exists(file, ec)) return {file};
+        return {};
+      }
+    } catch (const Error&) {
+      // Unreadable manifest — fall through to the name/header scan.
+    }
   }
   if (!d.vm_name.empty()) {
     const std::string named = path + "/" + d.vm_name + ".djvuspool";

@@ -90,6 +90,9 @@ Vm::Vm(std::shared_ptr<net::Network> network, VmConfig config,
     opts.compress = config_.tuning.spool_compress;
     opts.ring = config_.tuning.spool_ring;
     opts.ring_bytes = config_.tuning.spool_ring_bytes;
+    opts.flight_recorder = config_.tuning.flight_recorder;
+    opts.retention_chunks = config_.tuning.retention_chunks;
+    opts.retention_bytes = config_.tuning.retention_bytes;
     spooler_ = std::make_unique<record::LogSpooler>(config_.vm_id,
                                                     std::move(opts));
     // Flush each thread every ~chunk-bytes'-worth of events (a trace record
@@ -281,6 +284,11 @@ void Vm::log_network_entry(ThreadNum thread, record::NetworkLogEntry entry) {
     return;
   }
   network_log_.append(thread, std::move(entry));
+}
+
+void Vm::spool_anchor(const record::SpoolAnchor& anchor) {
+  if (spooler_ == nullptr || !config_.tuning.flight_recorder) return;
+  spooler_->anchor(anchor);
 }
 
 void Vm::flush_all_traces() {

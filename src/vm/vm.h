@@ -280,6 +280,14 @@ class Vm {
     return spooler_ ? spooler_->stats() : record::SpoolStats{};
   }
 
+  /// Ships a checkpoint anchor into the spool stream (record mode,
+  /// flight-recorder spools only — a no-op otherwise).  Called by
+  /// checkpoint::Checkpointer at each record-side barrier so the flight
+  /// ring's eviction horizon advances: chunks older than the newest anchor
+  /// chunk become evictable, and the retained tail stays replayable from
+  /// the anchor's state (docs/INTERNALS.md §1g).
+  void spool_anchor(const record::SpoolAnchor& anchor);
+
   /// Observer invoked after every critical event (any mode), with the
   /// event's trace record.  The hook behind the replay debugger
   /// (examples/replay_debugger): breakpoints, event printing, state

@@ -12,6 +12,7 @@
 #include "record/chrome_trace.h"
 #include "record/log_spool.h"
 #include "record/log_stats.h"
+#include "record/run_manifest.h"
 #include "replay/doctor.h"
 #include "vm/shared_var.h"
 #include "vm/thread.h"
@@ -147,6 +148,17 @@ TEST(Doctor, AmbiguousVmIdMatchIsAFindingNotAGuess) {
   // A leftover spool from an earlier run sharing the dir, same vm id.
   std::filesystem::copy(dir + "/app.djvuspool", dir + "/stale.djvuspool");
   report.vm_name.clear();  // force the header-scan fallback
+
+  // With the run manifest present the stale file cannot shadow anything:
+  // the manifest names exactly one VM with this id, so the match is
+  // authoritative despite the duplicate on disk.
+  replay::DoctorReport via_manifest = replay::diagnose_spool(report, dir);
+  EXPECT_TRUE(via_manifest.log_found);
+  EXPECT_EQ(via_manifest.log_path, dir + "/app.djvuspool");
+
+  // A legacy (pre-manifest) directory falls back to the header scan,
+  // where the duplicate is a genuine N-way ambiguity.
+  std::filesystem::remove(record::run_manifest_path(dir));
   replay::DoctorReport doc = replay::diagnose_spool(report, dir);
   EXPECT_FALSE(doc.log_found);
   ASSERT_FALSE(doc.notes.empty());
